@@ -1,0 +1,1 @@
+bench/bech.ml: Analyze Array Bechamel Benchmark Common Cr_core Cr_graphgen Cr_metric Cr_sim Instance List Measure Printf Staged Test Time Toolkit

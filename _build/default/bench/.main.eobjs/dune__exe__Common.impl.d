@@ -1,0 +1,1 @@
+bench/common.ml: Cr_core Cr_graphgen Cr_lowerbound Cr_metric Cr_nets Cr_sim List Printf String

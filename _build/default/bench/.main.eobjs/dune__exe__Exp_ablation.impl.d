@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Common Cr_graphgen Cr_metric Cr_search Cr_tree List

@@ -1,0 +1,1 @@
+bench/exp_congestion.ml: Array Common Cr_core Cr_graphgen Cr_metric Cr_sim List

@@ -1,0 +1,1 @@
+bench/exp_distributed.ml: Common Cr_graphgen Cr_metric Cr_proto List Printf

@@ -1,0 +1,1 @@
+bench/exp_epsilon.ml: Common Cr_core Cr_graphgen Cr_sim List

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Array Common Cr_core Cr_graphgen Cr_metric Cr_sim Fun List Printf

@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Common Cr_core Cr_graphgen Cr_metric Cr_sim List Printf

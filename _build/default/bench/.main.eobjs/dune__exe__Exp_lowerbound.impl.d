@@ -1,0 +1,1 @@
+bench/exp_lowerbound.ml: Array Common Cr_core Cr_lowerbound Cr_metric Cr_sim List Printf

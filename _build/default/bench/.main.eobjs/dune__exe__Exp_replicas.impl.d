@@ -1,0 +1,1 @@
+bench/exp_replicas.ml: Common Cr_core Cr_graphgen Cr_location Cr_metric Cr_sim Float List

@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Common Cr_core Cr_graphgen Cr_metric Cr_sim Float List Printf

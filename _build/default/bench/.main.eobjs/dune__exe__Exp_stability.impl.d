@@ -1,0 +1,1 @@
+bench/exp_stability.ml: Common Cr_core Cr_metric Cr_nets Cr_sim List

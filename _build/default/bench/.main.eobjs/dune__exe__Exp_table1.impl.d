@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Common Cr_baselines Cr_core Cr_metric Cr_sim List

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Common Cr_baselines Cr_core Cr_metric Cr_sim List

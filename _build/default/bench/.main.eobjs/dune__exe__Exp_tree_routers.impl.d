@@ -1,0 +1,1 @@
+bench/exp_tree_routers.ml: Common Cr_graphgen Cr_metric Cr_tree Fun List Option

@@ -1,0 +1,80 @@
+(* Shared instance construction and table formatting for the experiment
+   harness (bench/main.ml). Every experiment in EXPERIMENTS.md is
+   regenerated from these builders with fixed seeds. *)
+
+module Metric = Cr_metric.Metric
+module Graph = Cr_metric.Graph
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Workload = Cr_sim.Workload
+module Scheme = Cr_sim.Scheme
+module Stats = Cr_sim.Stats
+
+type instance = {
+  name : string;
+  metric : Metric.t;
+  nt : Netting_tree.t;
+}
+
+let instance name graph =
+  let metric = Metric.of_graph graph in
+  let nt = Netting_tree.build (Hierarchy.build metric) in
+  { name; metric; nt }
+
+(* The standard evaluation families (sizes chosen so the full matrix of
+   experiments completes in minutes). Seeds are fixed for reproducibility. *)
+let families () =
+  [ instance "grid-10x10" (Cr_graphgen.Grid.square ~side:10);
+    instance "holey-12x12"
+      (Cr_graphgen.Grid.with_holes ~side:12 ~hole_fraction:0.25 ~seed:7);
+    instance "geo-128" (Cr_graphgen.Geometric.knn ~n:128 ~k:3 ~seed:11);
+    instance "ring-128" (Cr_graphgen.Path_like.ring ~n:128);
+    instance "lbtree-128"
+      (Cr_lowerbound.Construction.graph
+         (Cr_lowerbound.Construction.build ~n:128 ~p:4 ~q:3)) ]
+
+let default_epsilon = 0.5
+let pairs_budget = 2_000
+
+let pairs_of inst =
+  Workload.pairs_for ~n:(Metric.n inst.metric) ~seed:17 ~budget:pairs_budget
+
+let naming_of inst = Workload.random_naming ~n:(Metric.n inst.metric) ~seed:42
+
+(* Scheme builders *)
+
+let hier_labeled inst ~epsilon = Cr_core.Hier_labeled.build inst.nt ~epsilon
+
+let scale_free_labeled inst ~epsilon =
+  Cr_core.Scale_free_labeled.build inst.nt ~epsilon
+
+let simple_ni inst ~epsilon ~naming =
+  let hl = hier_labeled inst ~epsilon in
+  Cr_core.Simple_ni.build inst.nt ~epsilon ~naming
+    ~underlying:(Cr_core.Hier_labeled.to_underlying hl)
+
+let scale_free_ni inst ~epsilon ~naming =
+  let sfl = scale_free_labeled inst ~epsilon in
+  Cr_core.Scale_free_ni.build inst.nt ~epsilon ~naming
+    ~underlying:(Cr_core.Scale_free_labeled.to_underlying sfl)
+
+(* Table printing *)
+
+let print_header title columns =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%s\n" (String.concat " | " columns);
+  Printf.printf "%s\n"
+    (String.concat "-|-"
+       (List.map (fun c -> String.make (String.length c) '-') columns))
+
+let cell fmt = Printf.sprintf fmt
+
+let print_row cells = Printf.printf "%s\n" (String.concat " | " cells)
+
+let bits_cell max_bits avg_bits =
+  Printf.sprintf "%7d / %9.1f" max_bits avg_bits
+
+let stretch_cells (s : Stats.summary) =
+  [ cell "%6.3f" s.Stats.max_stretch;
+    cell "%6.3f" s.Stats.avg_stretch;
+    cell "%6.3f" s.Stats.p99_stretch ]

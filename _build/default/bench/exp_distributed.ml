@@ -1,0 +1,85 @@
+(* E9 — distributed preprocessing cost: message complexity of building the
+   paper's structures by message passing alone (asynchronous model, one
+   message per edge traversal, delivery delay = edge weight).
+
+   Covers the two protocol building blocks: shortest-path trees (used for
+   Voronoi cells and next-hop tables) and the nested 2^i-net hierarchy
+   (elected level by level, seeded downward). The distributed hierarchy is
+   verified to equal the centralized construction in the test suite; here
+   we report what it costs. *)
+
+open Common
+module Metric = Cr_metric.Metric
+module Graph = Cr_metric.Graph
+module Dist_spt = Cr_proto.Dist_spt
+module Dist_hierarchy = Cr_proto.Dist_hierarchy
+module Network = Cr_proto.Network
+
+let run () =
+  print_header
+    "E9 (distributed preprocessing): message complexity"
+    [ "family"; "n"; "m"; "SPT msgs"; "SPT makespan"; "hierarchy msgs";
+      "msgs/(n m)" ];
+  List.iter
+    (fun inst ->
+      let g = Metric.graph inst.metric in
+      let n = Metric.n inst.metric in
+      let edges = Graph.num_edges g in
+      let spt = Dist_spt.run g ~root:0 in
+      let hier = Dist_hierarchy.build inst.metric in
+      print_row
+        [ cell "%-12s" inst.name;
+          cell "%5d" n;
+          cell "%5d" edges;
+          cell "%8d" spt.Dist_spt.stats.Network.messages;
+          cell "%10.1f" spt.Dist_spt.stats.Network.makespan;
+          cell "%8d" hier.Dist_hierarchy.total_messages;
+          cell "%8.2f"
+            (float_of_int hier.Dist_hierarchy.total_messages
+            /. float_of_int (n * edges)) ])
+    (families ());
+  print_newline ();
+  print_endline
+    "Per-level election detail (holey-12x12): members elected and messages";
+  let inst =
+    instance "holey-12x12"
+      (Cr_graphgen.Grid.with_holes ~side:12 ~hole_fraction:0.25 ~seed:7)
+  in
+  let hier = Dist_hierarchy.build inst.metric in
+  List.iter
+    (fun (c : Dist_hierarchy.level_cost) ->
+      Printf.printf "  level %2d: %3d members, %6d messages (makespan %.1f)\n"
+        c.Dist_hierarchy.level c.Dist_hierarchy.members
+        c.Dist_hierarchy.messages c.Dist_hierarchy.makespan)
+    hier.Dist_hierarchy.costs;
+  print_newline ();
+  print_endline
+    "Distributed ball packings (holey-12x12): radii flood + per-scale election";
+  let g = Metric.graph inst.metric in
+  let radii = Cr_proto.Dist_radii.run g in
+  Printf.printf "  radii flood: %d messages\n"
+    radii.Cr_proto.Dist_radii.stats.Network.messages;
+  List.iter
+    (fun j ->
+      let r =
+        Cr_proto.Dist_packing.run g
+          ~distances:radii.Cr_proto.Dist_radii.distances ~j
+      in
+      Printf.printf
+        "  scale %d: %3d balls packed, %6d + %6d messages (discovery + election)\n"
+        j
+        (List.length r.Cr_proto.Dist_packing.accepted)
+        r.Cr_proto.Dist_packing.discovery.Network.messages
+        r.Cr_proto.Dist_packing.election.Network.messages)
+    [ 1; 3; 5 ];
+  print_newline ();
+  print_endline
+    "Shape: one SPT costs ~2m relaxations. Hierarchy elections are dominated";
+  print_endline
+    "by the id floods of the top levels (every node floods its 2^i-ball, so a";
+  print_endline
+    "level costs sum_u |edges in B_u(2^i)| <= n*m); the msgs/(n m) column";
+  print_endline
+    "staying single-digit shows only a few such passes are ever needed —";
+  print_endline
+    "in-network preprocessing is feasible, not just offline compilation."

@@ -1,0 +1,52 @@
+(* E7 — stretch vs epsilon: sweep the accuracy parameter and measure
+   max/avg stretch of all four schemes on a holey grid, against the
+   theoretical 1 + O(eps) and 9 + O(eps) budgets. *)
+
+open Common
+module Stats = Cr_sim.Stats
+
+let run () =
+  let inst =
+    instance "holey-10x10"
+      (Cr_graphgen.Grid.with_holes ~side:10 ~hole_fraction:0.2 ~seed:5)
+  in
+  let naming = naming_of inst in
+  let pairs = pairs_of inst in
+  print_header
+    "E7 (stretch vs eps): holey 10x10 grid"
+    [ "eps"; "hier-lab max/avg"; "sf-lab max/avg"; "simple-NI max/avg";
+      "sf-NI max/avg" ];
+  List.iter
+    (fun epsilon ->
+      let measure_l s = Stats.measure_labeled inst.metric s pairs in
+      let measure_ni s =
+        Stats.measure_name_independent inst.metric s naming pairs
+      in
+      let hl = measure_l (Cr_core.Hier_labeled.to_scheme (hier_labeled inst ~epsilon)) in
+      let sfl =
+        measure_l
+          (Cr_core.Scale_free_labeled.to_scheme (scale_free_labeled inst ~epsilon))
+      in
+      let sni =
+        measure_ni (Cr_core.Simple_ni.to_scheme (simple_ni inst ~epsilon ~naming))
+      in
+      let sfni =
+        measure_ni
+          (Cr_core.Scale_free_ni.to_scheme (scale_free_ni inst ~epsilon ~naming))
+      in
+      let p (s : Stats.summary) =
+        cell "%6.3f/%6.3f" s.Stats.max_stretch s.Stats.avg_stretch
+      in
+      print_row
+        [ cell "%4.2f" epsilon; p hl; p sfl; p sni; p sfni ])
+    [ 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.7; 0.9 ];
+  print_newline ();
+  print_endline
+    "Paper shape: labeled stretch stays near 1 and decreases with eps; the";
+  print_endline
+    "NI schemes' worst case reflects two opposing terms (deep-level sweeps";
+  print_endline
+    "shrink with eps, level-0 directory descents grow as 2/eps — the level-0";
+  print_endline
+    "cost is why Theorem 1.4's 9 + O(eps) is not monotone in eps; see";
+  print_endline "EXPERIMENTS.md)."

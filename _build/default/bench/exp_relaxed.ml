@@ -1,0 +1,70 @@
+(* E15 — relaxed guarantees (the conclusion's open question): "can we
+   achieve better space if a small constant fraction of source-destination
+   pairs incur larger routing stretch?" We explore the simplest knob:
+   truncate Theorem 1.4's directory below a minimum level. Nearby pairs —
+   a bounded fraction of all pairs — then start their search at a coarser
+   ball and pay more; everyone else is untouched; the level-0/1
+   directories, which are the bulk of the storage (every node appears in
+   (1/eps)^O(alpha) trees per level), disappear. *)
+
+open Common
+module Metric = Cr_metric.Metric
+module Workload = Cr_sim.Workload
+module Stats = Cr_sim.Stats
+module Scheme = Cr_sim.Scheme
+module Simple_ni = Cr_core.Simple_ni
+module Hier = Cr_core.Hier_labeled
+
+let run () =
+  let inst =
+    instance "holey-12x12"
+      (Cr_graphgen.Grid.with_holes ~side:12 ~hole_fraction:0.25 ~seed:7)
+  in
+  let m = inst.metric in
+  let n = Metric.n m in
+  let naming = naming_of inst in
+  let pairs = pairs_of inst in
+  let hier = hier_labeled inst ~epsilon:default_epsilon in
+  let bound = 9.0 +. default_epsilon in
+  print_header
+    "E15 (relaxed guarantees): truncating Thm 1.4's directory below a level"
+    [ "min lvl"; "table bits max/avg"; "max-st"; "avg-st"; "% pairs > 9+eps" ];
+  List.iter
+    (fun min_level ->
+      let t =
+        Simple_ni.build ~min_level inst.nt ~epsilon:default_epsilon ~naming
+          ~underlying:(Hier.to_underlying hier)
+      in
+      let s = Simple_ni.to_scheme t in
+      let over = ref 0 in
+      let samples =
+        List.map
+          (fun (src, dst) ->
+            let o =
+              s.Scheme.route_to_name ~src
+                ~dest_name:naming.Workload.name_of.(dst)
+            in
+            let d = Metric.dist m src dst in
+            if o.Scheme.cost /. d > bound then incr over;
+            (d, o.Scheme.cost, o.Scheme.hops))
+          pairs
+      in
+      let summary = Stats.summarize samples in
+      print_row
+        [ cell "%4d" min_level;
+          bits_cell (Scheme.ni_max_table_bits s n) (Scheme.ni_avg_table_bits s n);
+          cell "%7.3f" summary.Stats.max_stretch;
+          cell "%7.3f" summary.Stats.avg_stretch;
+          cell "%6.1f%%"
+            (100.0 *. float_of_int !over /. float_of_int (List.length pairs)) ])
+    [ 0; 1; 2; 3 ];
+  print_newline ();
+  print_endline
+    "Shape: each truncated level cuts the dominant fine-grained directory";
+  print_endline
+    "storage while pushing only the nearby pairs (a bounded, shrinking";
+  print_endline
+    "fraction of the workload) past the 9+eps envelope — a concrete data";
+  print_endline
+    "point for the conclusion's open trade-off between uniform guarantees";
+  print_endline "and space."

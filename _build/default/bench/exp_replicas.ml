@@ -1,0 +1,68 @@
+(* E14 — locating nearby copies of replicated objects (the introduction's
+   motivating application, via Cr_location). Place k replicas of one object
+   on a grid, have every node look it up, and compare the average lookup
+   cost with the average distance to the *nearest* replica: the ratio
+   staying bounded as k grows is the locality-awareness property — lookups
+   automatically benefit from replication without any client-side replica
+   selection. *)
+
+open Common
+module Metric = Cr_metric.Metric
+module Walker = Cr_sim.Walker
+module Directory = Cr_location.Directory
+module Sfl = Cr_core.Scale_free_labeled
+
+let run () =
+  let inst = instance "grid-14x14" (Cr_graphgen.Grid.square ~side:14) in
+  let m = inst.metric in
+  let n = Metric.n m in
+  let sfl = scale_free_labeled inst ~epsilon:default_epsilon in
+  (* replica sites: spread corners/centers of the grid *)
+  let sites = [ 0; 195; 13; 182; 97; 6; 91; 104 ] in
+  print_header
+    "E14 (replicated objects): lookup cost vs replica count (grid 14x14)"
+    [ "replicas"; "avg lookup"; "avg d(nearest)"; "ratio"; "max ratio" ];
+  List.iter
+    (fun k ->
+      let dir =
+        Directory.create inst.nt ~epsilon:default_epsilon
+          ~underlying:(Sfl.to_underlying sfl) ~key_universe:16
+      in
+      let holders = List.filteri (fun i _ -> i < k) sites in
+      List.iter
+        (fun holder -> ignore (Directory.publish_replica dir ~key:7 ~holder))
+        holders;
+      let total_cost = ref 0.0 and total_near = ref 0.0 in
+      let worst = ref 0.0 in
+      let clients = ref 0 in
+      for client = 0 to n - 1 do
+        if not (List.mem client holders) then begin
+          incr clients;
+          let w = Walker.create m ~start:client ~max_hops:1_000_000 in
+          (match Directory.lookup dir w ~key:7 with
+          | Some _ -> ()
+          | None -> failwith "replica lost");
+          let near =
+            List.fold_left
+              (fun acc h -> Float.min acc (Metric.dist m client h))
+              infinity holders
+          in
+          total_cost := !total_cost +. Walker.cost w;
+          total_near := !total_near +. near;
+          worst := Float.max !worst (Walker.cost w /. near)
+        end
+      done;
+      let c = float_of_int !clients in
+      print_row
+        [ cell "%4d" k;
+          cell "%8.2f" (!total_cost /. c);
+          cell "%8.2f" (!total_near /. c);
+          cell "%6.2f" (!total_cost /. !total_near);
+          cell "%6.2f" !worst ])
+    [ 1; 2; 4; 8 ];
+  print_newline ();
+  print_endline
+    "Shape: the average lookup cost tracks the distance to the nearest";
+  print_endline
+    "replica as copies are added (bounded ratio), without clients knowing";
+  print_endline "where the copies are — locality-aware replication for free."

@@ -1,0 +1,74 @@
+(* E11 — the two Lemma 4.1 realizations side by side: DFS-interval routing
+   (O(deg log n) tables, the schemes' default) versus heavy-path compact
+   routing (O(log^2 n) degree-independent tables and labels, the
+   Fraigniaud-Gavoille construction). Routes are identical; this table
+   shows where the encodings differ: high-degree trees. *)
+
+open Common
+module Tree = Cr_tree.Tree
+module Interval = Cr_tree.Interval_routing
+module Compact = Cr_tree.Compact_tree_routing
+module Heavy_path = Cr_tree.Heavy_path
+module Graph = Cr_metric.Graph
+module Metric = Cr_metric.Metric
+
+let spt_of m root =
+  let parent v =
+    match Metric.shortest_path m ~src:v ~dst:root with
+    | _ :: hop :: _ -> hop
+    | _ -> assert false
+  in
+  Tree.of_parents ~root
+    ~nodes:(List.init (Metric.n m) Fun.id)
+    ~parent
+    ~weight:(fun v ->
+      Option.get (Graph.edge_weight (Metric.graph m) v (parent v)))
+
+let test_trees () =
+  [ ("star-128", Metric.of_graph (Cr_graphgen.Path_like.star ~leaves:127));
+    ("caterpillar",
+     Metric.of_graph (Cr_graphgen.Tree_gen.caterpillar ~spine:16 ~legs_per_node:7));
+    ("binary-127",
+     Metric.of_graph (Cr_graphgen.Tree_gen.balanced_binary ~depth:6));
+    ("random-128",
+     Metric.of_graph
+       (Cr_graphgen.Tree_gen.random_attachment ~n:128 ~max_degree:6 ~seed:3));
+    ("grid-SPT",
+     Metric.of_graph (Cr_graphgen.Grid.square ~side:11)) ]
+
+let run () =
+  print_header
+    "E11 (Lemma 4.1 realizations): interval vs heavy-path tree routing"
+    [ "tree"; "size"; "max deg"; "light depth"; "IR table max"; "IR label";
+      "HP table max"; "HP label max" ];
+  List.iter
+    (fun (name, m) ->
+      let tree = spt_of m 0 in
+      let ir = Interval.build tree in
+      let cr = Compact.build tree in
+      let hp = Heavy_path.build tree in
+      let max_over f =
+        List.fold_left (fun acc v -> max acc (f v)) 0 (Tree.nodes tree)
+      in
+      print_row
+        [ cell "%-12s" name;
+          cell "%5d" (Tree.size tree);
+          cell "%5d" (max_over (Tree.degree tree));
+          cell "%5d" (Heavy_path.max_light_depth hp);
+          cell "%8d" (max_over (Interval.table_bits ir));
+          cell "%5d" (Interval.label_bits ir);
+          cell "%8d" (max_over (Compact.table_bits cr));
+          cell "%8d" (Compact.max_label_bits cr) ])
+    (test_trees ());
+  print_newline ();
+  print_endline
+    "Shape: interval tables blow up with degree (star: deg 127) while";
+  print_endline
+    "heavy-path tables stay O(log^2 n) everywhere, at the price of";
+  print_endline
+    "O(log^2 n)-bit labels instead of ceil(log n); both route optimally";
+  print_endline "(asserted equivalent in the test suite).";
+  print_endline
+    "The schemes default to interval routing because their trees have";
+  print_endline
+    "(1/eps)^O(alpha)-bounded degree, where it is the smaller encoding."

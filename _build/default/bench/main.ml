@@ -1,0 +1,42 @@
+(* Experiment harness: regenerates the empirical analog of every table and
+   figure in the paper (see DESIGN.md's per-experiment index), plus
+   Bechamel timing benches.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e5 e7   # selected experiments *)
+
+let experiments =
+  [ ("e1", "Table 1: name-independent schemes", Exp_table1.run);
+    ("e2", "Table 2: labeled schemes", Exp_table2.run);
+    ("e3", "Figure 1: name-independent trace", Exp_fig1.run);
+    ("e4", "Figure 2: labeled trace", Exp_fig2.run);
+    ("e5", "Figure 3 + Theorem 1.3: lower bound", Exp_lowerbound.run);
+    ("e6", "scale-freeness ablation", Exp_scalefree.run);
+    ("e7", "stretch vs epsilon", Exp_epsilon.run);
+    ("e8", "storage scaling", Exp_scaling.run);
+    ("e9", "distributed preprocessing", Exp_distributed.run);
+    ("e10", "search-tree ablations", Exp_ablation.run);
+    ("e11", "tree-routing encodings", Exp_tree_routers.run);
+    ("e12", "congestion", Exp_congestion.run);
+    ("e13", "stability under failure", Exp_stability.run);
+    ("e14", "replicated objects", Exp_replicas.run);
+    ("e15", "relaxed guarantees", Exp_relaxed.run);
+    ("bechamel", "timing micro-benchmarks", Bech.run) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map (fun (k, _, _) -> k) experiments
+  in
+  List.iter
+    (fun key ->
+      match List.find_opt (fun (k, _, _) -> k = key) experiments with
+      | Some (_, title, run) ->
+        Printf.printf "\n###### %s — %s\n" key title;
+        run ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" key
+          (String.concat ", " (List.map (fun (k, _, _) -> k) experiments));
+        exit 1)
+    requested

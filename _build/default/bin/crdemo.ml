@@ -1,0 +1,331 @@
+(* crdemo - command-line driver for the compact-routing library.
+
+     crdemo inspect --family holey:12:0.25
+     crdemo route   --family grid:10 --scheme sfni --src 0 --dst 99
+     crdemo stats   --family geo:128:3 --scheme all --pairs 2000
+
+   Family syntax (seeded generators take an optional trailing seed):
+     grid:SIDE | holey:SIDE:FRac[:SEED] | geo:N:K[:SEED] | ring:N
+     chain:N:BASE | star:LEAVES | tree:N:MAXDEG[:SEED] | cube:DIM
+     lbtree:N:P:Q *)
+
+module Metric = Cr_metric.Metric
+module Graph = Cr_metric.Graph
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Scheme = Cr_sim.Scheme
+module Stats = Cr_sim.Stats
+module Workload = Cr_sim.Workload
+open Cmdliner
+
+let parse_family spec =
+  let fail () =
+    raise (Invalid_argument (Printf.sprintf "cannot parse family %S" spec))
+  in
+  let int s = try int_of_string s with Failure _ -> fail () in
+  let fl s = try float_of_string s with Failure _ -> fail () in
+  match String.split_on_char ':' spec with
+  | [ "grid"; side ] -> Cr_graphgen.Grid.square ~side:(int side)
+  | "holey" :: side :: frac :: rest ->
+    let seed = match rest with [ s ] -> int s | _ -> 7 in
+    Cr_graphgen.Grid.with_holes ~side:(int side) ~hole_fraction:(fl frac)
+      ~seed
+  | "geo" :: n :: k :: rest ->
+    let seed = match rest with [ s ] -> int s | _ -> 11 in
+    Cr_graphgen.Geometric.knn ~n:(int n) ~k:(int k) ~seed
+  | [ "ring"; n ] -> Cr_graphgen.Path_like.ring ~n:(int n)
+  | [ "chain"; n; base ] ->
+    Cr_graphgen.Path_like.exponential_chain ~n:(int n) ~base:(fl base)
+  | [ "star"; leaves ] -> Cr_graphgen.Path_like.star ~leaves:(int leaves)
+  | "tree" :: n :: deg :: rest ->
+    let seed = match rest with [ s ] -> int s | _ -> 9 in
+    Cr_graphgen.Tree_gen.random_attachment ~n:(int n) ~max_degree:(int deg)
+      ~seed
+  | [ "cube"; dim ] -> Cr_graphgen.Hypercube.cube ~dim:(int dim)
+  | [ "lbtree"; n; p; q ] ->
+    Cr_lowerbound.Construction.graph
+      (Cr_lowerbound.Construction.build ~n:(int n) ~p:(int p) ~q:(int q))
+  | "file" :: rest ->
+    (* paths may contain ':', so rejoin *)
+    Cr_metric.Graph_io.load (String.concat ":" rest)
+  | _ -> fail ()
+
+let family_arg =
+  let doc = "Network family, e.g. grid:10, holey:12:0.25, geo:128:3, \
+             ring:64, chain:32:2.0, lbtree:128:4:3, cube:6, file:PATH \
+             (edge-list text)." in
+  Arg.(value & opt string "grid:10" & info [ "family"; "f" ] ~docv:"SPEC" ~doc)
+
+let epsilon_arg =
+  let doc = "Accuracy parameter in (0, 1)." in
+  Arg.(value & opt float 0.5 & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc)
+
+let seed_arg =
+  let doc = "Seed for the node naming / workload." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+type scheme_kind = Hier | Sfl | Simple | Sfni | Ft | St
+
+let scheme_conv =
+  let parse = function
+    | "hier" -> Ok Hier
+    | "sfl" | "labeled" -> Ok Sfl
+    | "simple" -> Ok Simple
+    | "sfni" | "ni" -> Ok Sfni
+    | "full-table" | "ft" -> Ok Ft
+    | "spanning-tree" | "st" -> Ok St
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.fprintf ppf "<scheme>")
+
+let scheme_arg =
+  let doc = "Scheme: hier (Lemma 3.1), sfl (Thm 1.2), simple (Thm 1.4), \
+             sfni (Thm 1.1), ft (full table), st (spanning tree)." in
+  Arg.(value & opt scheme_conv Sfni & info [ "scheme"; "s" ] ~docv:"NAME" ~doc)
+
+let load spec =
+  let graph = parse_family spec in
+  let metric = Metric.of_graph graph in
+  let nt = Netting_tree.build (Hierarchy.build metric) in
+  (metric, nt)
+
+(* Build the selected scheme as a pair of optional harness views. *)
+let build_scheme kind metric nt ~epsilon ~naming =
+  match kind with
+  | Ft -> `Labeled (Cr_baselines.Full_table.labeled metric)
+  | St -> `Labeled (Cr_baselines.Spanning_tree.labeled metric ~root:0)
+  | Hier ->
+    `Labeled (Cr_core.Hier_labeled.to_scheme (Cr_core.Hier_labeled.build nt ~epsilon))
+  | Sfl ->
+    `Labeled
+      (Cr_core.Scale_free_labeled.to_scheme
+         (Cr_core.Scale_free_labeled.build nt ~epsilon))
+  | Simple ->
+    let hl = Cr_core.Hier_labeled.build nt ~epsilon in
+    `Name_independent
+      (Cr_core.Simple_ni.to_scheme
+         (Cr_core.Simple_ni.build nt ~epsilon ~naming
+            ~underlying:(Cr_core.Hier_labeled.to_underlying hl)))
+  | Sfni ->
+    let sfl = Cr_core.Scale_free_labeled.build nt ~epsilon in
+    `Name_independent
+      (Cr_core.Scale_free_ni.to_scheme
+         (Cr_core.Scale_free_ni.build nt ~epsilon ~naming
+            ~underlying:(Cr_core.Scale_free_labeled.to_underlying sfl)))
+
+(* inspect *)
+
+let inspect family =
+  let metric, nt = load family in
+  let g = Metric.graph metric in
+  let h = Netting_tree.hierarchy nt in
+  Printf.printf "family        %s\n" family;
+  Printf.printf "nodes         %d\n" (Metric.n metric);
+  Printf.printf "edges         %d\n" (Graph.num_edges g);
+  Printf.printf "max degree    %d\n" (Graph.max_degree g);
+  Printf.printf "diameter      %.3f\n" (Metric.diameter metric);
+  Printf.printf "Delta         %.6g\n" (Metric.normalized_diameter metric);
+  Printf.printf "net levels    %d\n" (Hierarchy.top_level h);
+  Printf.printf "doubling dim  %.2f (greedy estimate)\n"
+    (Cr_metric.Doubling.estimate_sampled metric ~samples:50 ~seed:1);
+  Printf.printf "net sizes     %s\n"
+    (String.concat " "
+       (List.init
+          (Hierarchy.top_level h + 1)
+          (fun i -> string_of_int (List.length (Hierarchy.net h i)))));
+  0
+
+(* route *)
+
+let route family scheme_kind epsilon seed src dst =
+  let metric, nt = load family in
+  let n = Metric.n metric in
+  if src < 0 || src >= n || dst < 0 || dst >= n || src = dst then begin
+    Printf.eprintf "route: need distinct src and dst in [0, %d)\n" n;
+    1
+  end
+  else begin
+    let naming = Workload.random_naming ~n ~seed in
+    let d = Metric.dist metric src dst in
+    (match build_scheme scheme_kind metric nt ~epsilon ~naming with
+    | `Labeled s ->
+      let o = Scheme.route_labeled s ~src ~dst in
+      Printf.printf
+        "%s: %d -> %d cost %.3f hops %d (distance %.3f, stretch %.3f)\n"
+        s.Scheme.l_name src dst o.Scheme.cost o.Scheme.hops d
+        (o.Scheme.cost /. d)
+    | `Name_independent s ->
+      let name = naming.Workload.name_of.(dst) in
+      let o = s.Scheme.route_to_name ~src ~dest_name:name in
+      Printf.printf
+        "%s: %d -> name %d (node %d) cost %.3f hops %d (distance %.3f, \
+         stretch %.3f)\n"
+        s.Scheme.ni_name src name dst o.Scheme.cost o.Scheme.hops d
+        (o.Scheme.cost /. d));
+    0
+  end
+
+(* stats *)
+
+let stats family scheme_kind epsilon seed pairs_budget =
+  let metric, nt = load family in
+  let n = Metric.n metric in
+  let naming = Workload.random_naming ~n ~seed in
+  let pairs = Workload.pairs_for ~n ~seed:(seed + 1) ~budget:pairs_budget in
+  (match build_scheme scheme_kind metric nt ~epsilon ~naming with
+  | `Labeled s ->
+    let summary = Stats.measure_labeled metric s pairs in
+    Printf.printf "%s on %s\n  %s\n  table bits max %d avg %.1f, label %d, \
+                   header %d\n"
+      s.Scheme.l_name family
+      (Format.asprintf "%a" Stats.pp_summary summary)
+      (Scheme.max_table_bits s n) (Scheme.avg_table_bits s n)
+      s.Scheme.l_label_bits s.Scheme.l_header_bits
+  | `Name_independent s ->
+    let summary = Stats.measure_name_independent metric s naming pairs in
+    Printf.printf
+      "%s on %s\n  %s\n  table bits max %d avg %.1f, header %d\n"
+      s.Scheme.ni_name family
+      (Format.asprintf "%a" Stats.pp_summary summary)
+      (Scheme.ni_max_table_bits s n)
+      (Scheme.ni_avg_table_bits s n) s.Scheme.ni_header_bits);
+  0
+
+(* trace: run one route and emit its trail as DOT or CSV *)
+
+let trace family scheme_kind epsilon seed src dst format =
+  let metric, nt = load family in
+  let n = Metric.n metric in
+  if src < 0 || src >= n || dst < 0 || dst >= n || src = dst then begin
+    Printf.eprintf "trace: need distinct src and dst in [0, %d)\n" n;
+    1
+  end
+  else begin
+    let naming = Workload.random_naming ~n ~seed in
+    let w = Cr_sim.Walker.create metric ~start:src ~max_hops:1_000_000 in
+    (match build_scheme scheme_kind metric nt ~epsilon ~naming with
+    | `Labeled _ ->
+      (* drive the concrete scheme directly so the walker records the trail *)
+      (match scheme_kind with
+      | Hier ->
+        let t = Cr_core.Hier_labeled.build nt ~epsilon in
+        Cr_core.Hier_labeled.walk t w
+          ~dest_label:(Cr_core.Hier_labeled.label t dst)
+      | Sfl ->
+        let t = Cr_core.Scale_free_labeled.build nt ~epsilon in
+        Cr_core.Scale_free_labeled.walk t w
+          ~dest_label:(Cr_core.Scale_free_labeled.label t dst)
+      | _ -> Cr_sim.Walker.walk_shortest_path w dst)
+    | `Name_independent _ ->
+      let dest_name = naming.Workload.name_of.(dst) in
+      (match scheme_kind with
+      | Simple ->
+        let hl = Cr_core.Hier_labeled.build nt ~epsilon in
+        let t =
+          Cr_core.Simple_ni.build nt ~epsilon ~naming
+            ~underlying:(Cr_core.Hier_labeled.to_underlying hl)
+        in
+        Cr_core.Simple_ni.walk t w ~dest_name
+      | _ ->
+        let sfl = Cr_core.Scale_free_labeled.build nt ~epsilon in
+        let t =
+          Cr_core.Scale_free_ni.build nt ~epsilon ~naming
+            ~underlying:(Cr_core.Scale_free_labeled.to_underlying sfl)
+        in
+        Cr_core.Scale_free_ni.walk t w ~dest_name));
+    let trail = Cr_sim.Walker.trail w in
+    (match format with
+    | "dot" -> print_string (Cr_sim.Export.dot_of_graph metric ~route:trail ())
+    | "csv" -> print_string (Cr_sim.Export.csv_of_route metric trail)
+    | _ ->
+      Printf.printf "trail (%d hops, cost %.3f): %s\n"
+        (Cr_sim.Walker.hops w) (Cr_sim.Walker.cost w)
+        (String.concat " -> " (List.map string_of_int trail)));
+    0
+  end
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Print structural statistics of a network family")
+    Term.(const inspect $ family_arg)
+
+let route_cmd =
+  let src =
+    Arg.(value & opt int 0 & info [ "src" ] ~docv:"NODE" ~doc:"Source node.")
+  in
+  let dst =
+    Arg.(
+      value & opt int 1 & info [ "dst" ] ~docv:"NODE" ~doc:"Destination node.")
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Route one packet and report cost and stretch")
+    Term.(
+      const route $ family_arg $ scheme_arg $ epsilon_arg $ seed_arg $ src
+      $ dst)
+
+let stats_cmd =
+  let pairs =
+    Arg.(
+      value & opt int 2000
+      & info [ "pairs" ] ~docv:"N" ~doc:"Pair budget (all pairs if fewer).")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Measure stretch and storage over a workload")
+    Term.(
+      const stats $ family_arg $ scheme_arg $ epsilon_arg $ seed_arg $ pairs)
+
+(* verify: run every structural invariant check *)
+
+let verify family =
+  let metric, _ = load family in
+  let findings = Cr_verify.Invariants.all metric in
+  if findings = [] then begin
+    Printf.printf
+      "verify %s: all invariants hold (hierarchy, zoom, netting tree, \
+       packings, search trees)\n"
+      family;
+    0
+  end
+  else begin
+    List.iter
+      (fun f ->
+        Printf.eprintf "%s\n"
+          (Format.asprintf "%a" Cr_verify.Invariants.pp f))
+      findings;
+    Printf.eprintf "verify %s: %d invariant violations\n" family
+      (List.length findings);
+    1
+  end
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check every structural invariant of the paper on a family")
+    Term.(const verify $ family_arg)
+
+let trace_cmd =
+  let src =
+    Arg.(value & opt int 0 & info [ "src" ] ~docv:"NODE" ~doc:"Source node.")
+  in
+  let dst =
+    Arg.(
+      value & opt int 1 & info [ "dst" ] ~docv:"NODE" ~doc:"Destination node.")
+  in
+  let format =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output: text, dot, or csv.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Route one packet and dump its trail (text/dot/csv)")
+    Term.(
+      const trace $ family_arg $ scheme_arg $ epsilon_arg $ seed_arg $ src
+      $ dst $ format)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "crdemo" ~version:"1.0"
+       ~doc:"Compact routing schemes in low-doubling networks")
+    [ inspect_cmd; route_cmd; stats_cmd; trace_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

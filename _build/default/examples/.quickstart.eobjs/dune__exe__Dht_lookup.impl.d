@@ -1,0 +1,1 @@
+examples/dht_lookup.ml: Array Char Cr_core Cr_graphgen Cr_metric Cr_nets Cr_sim List Printf String

@@ -1,0 +1,1 @@
+examples/mobile_tracking.ml: Cr_core Cr_graphgen Cr_location Cr_metric Cr_nets Cr_sim Float List Printf

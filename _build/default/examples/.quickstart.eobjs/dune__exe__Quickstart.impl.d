@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cr_core Cr_graphgen Cr_metric Cr_nets Cr_sim Printf

@@ -1,0 +1,1 @@
+examples/sensor_grid.ml: Cr_baselines Cr_core Cr_graphgen Cr_metric Cr_nets Cr_sim Fun List Printf

@@ -1,0 +1,1 @@
+examples/wide_area.ml: Cr_core Cr_metric Cr_nets Cr_sim Float Printf

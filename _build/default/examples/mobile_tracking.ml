@@ -1,0 +1,77 @@
+(* Tracking mobile objects with the distributed location directory.
+
+     dune exec examples/mobile_tracking.exe
+
+   The second application the paper's introduction names: a mobile object
+   (a vehicle, a migrating VM, a user device) re-homes as it moves; clients
+   locate it through the hierarchical directory without any central
+   registry. The directory is the Theorem 1.4 structure with dynamic
+   (publish / move / lookup) content — see Cr_location.Directory.
+
+   The locality property to observe: a lookup's cost is proportional to the
+   client-object distance (found at the first level whose ball spans both),
+   not to the network size, and a move's cost is proportional to how far
+   the object moved (only the directory trees around the two homes are
+   touched). *)
+
+module Metric = Cr_metric.Metric
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Walker = Cr_sim.Walker
+module Directory = Cr_location.Directory
+module Sfl = Cr_core.Scale_free_labeled
+
+let () =
+  let graph = Cr_graphgen.Grid.square ~side:14 in
+  let metric = Metric.of_graph graph in
+  let n = Metric.n metric in
+  let nt = Netting_tree.build (Hierarchy.build metric) in
+  let labeled = Sfl.build nt ~epsilon:0.5 in
+  let dir =
+    Directory.create nt ~epsilon:0.5
+      ~underlying:(Sfl.to_underlying labeled) ~key_universe:1024
+  in
+  Printf.printf "14x14 grid, %d nodes; tracking object #42\n\n" n;
+
+  (* The object starts at the south-west corner. *)
+  let key = 42 in
+  let home = ref 0 in
+  let cost = Directory.publish dir ~key ~holder:!home in
+  Printf.printf "publish at node %d: directory install cost %.1f\n" !home cost;
+
+  let clients = [ 1; 15; 97; 195 ] in
+  let query_round tag =
+    List.iter
+      (fun client ->
+        let w = Walker.create metric ~start:client ~max_hops:1_000_000 in
+        match Directory.lookup dir w ~key with
+        | Some found ->
+          let d = Metric.dist metric client found in
+          Printf.printf
+            "  [%s] client %3d locates it at %3d: cost %6.1f, distance %4.1f \
+             (ratio %.2f)\n"
+            tag client found (Walker.cost w) d
+            (Walker.cost w /. Float.max d 1.0)
+        | None -> Printf.printf "  [%s] client %3d: LOST OBJECT\n" tag client)
+      clients
+  in
+  query_round "t0";
+
+  (* The object drives across the grid in three hops of increasing length. *)
+  List.iter
+    (fun next ->
+      let cost = Directory.move dir ~key ~from_holder:!home ~to_holder:next in
+      Printf.printf
+        "\nmove %3d -> %3d (distance %4.1f): directory update cost %.1f\n"
+        !home next
+        (Metric.dist metric !home next)
+        cost;
+      home := next;
+      query_round "t+")
+    [ 16; 90; 195 ];
+
+  Printf.printf
+    "\nNo client ever contacts a central registry: each lookup climbs its\n";
+  Printf.printf
+    "own zooming sequence and pays O(distance/eps) — nearby clients find\n";
+  Printf.printf "the object almost for free.\n"

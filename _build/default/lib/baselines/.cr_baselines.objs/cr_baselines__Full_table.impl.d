@@ -1,0 +1,1 @@
+lib/baselines/full_table.ml: Array Cr_metric Cr_sim Fun

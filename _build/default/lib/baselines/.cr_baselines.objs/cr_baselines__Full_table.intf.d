@@ -1,0 +1,1 @@
+lib/baselines/full_table.mli: Cr_metric Cr_sim

@@ -1,0 +1,1 @@
+lib/baselines/landmark.ml: Array Cr_graphgen Cr_metric Cr_sim Float Fun List

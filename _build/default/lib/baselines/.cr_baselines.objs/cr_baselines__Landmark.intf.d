@@ -1,0 +1,1 @@
+lib/baselines/landmark.mli: Cr_metric Cr_sim

@@ -1,0 +1,1 @@
+lib/baselines/spanning_tree.ml: Array Cr_metric Cr_sim Cr_tree Fun List

@@ -1,0 +1,1 @@
+lib/baselines/spanning_tree.mli: Cr_metric Cr_sim

@@ -1,0 +1,91 @@
+module Metric = Cr_metric.Metric
+module Bits = Cr_metric.Bits
+module Walker = Cr_sim.Walker
+module Scheme = Cr_sim.Scheme
+module Workload = Cr_sim.Workload
+module Rng = Cr_graphgen.Rng
+
+let landmark_count n =
+  let ln = Float.max 1.0 (log (float_of_int n)) in
+  min n (max 1 (int_of_float (Float.ceil (sqrt (float_of_int n *. ln)))))
+
+type t = {
+  metric : Metric.t;
+  is_landmark : bool array;
+  home : int array;  (* home.(u) = nearest landmark l(u) *)
+  bunch_size : int array;
+}
+
+let build m ~seed =
+  let n = Metric.n m in
+  let rng = Rng.create seed in
+  let is_landmark = Array.make n false in
+  let picked = ref 0 in
+  let target = landmark_count n in
+  while !picked < target do
+    let v = Rng.int rng n in
+    if not is_landmark.(v) then begin
+      is_landmark.(v) <- true;
+      incr picked
+    end
+  done;
+  let landmarks =
+    List.filter (fun v -> is_landmark.(v)) (List.init n Fun.id)
+  in
+  let home = Array.init n (fun u -> Metric.nearest_in m u landmarks) in
+  let bunch_size =
+    Array.init n (fun u ->
+        if is_landmark.(u) then 0
+        else begin
+          let r = Metric.dist m u home.(u) in
+          let count = ref 0 in
+          for v = 0 to n - 1 do
+            if v <> u && Metric.dist m u v < r then incr count
+          done;
+          !count
+        end)
+  in
+  { metric = m; is_landmark; home; bunch_size }
+
+let budget m = 10 + (8 * Metric.n m)
+
+let route t ~src ~dst =
+  let w = Walker.create t.metric ~start:src ~max_hops:(budget t.metric) in
+  if src <> dst then begin
+    let in_bunch =
+      t.is_landmark.(src)
+      || Metric.dist t.metric src dst
+         < Metric.dist t.metric src t.home.(src)
+    in
+    if not in_bunch then Walker.walk_shortest_path w t.home.(src);
+    Walker.walk_shortest_path w dst
+  end;
+  { Scheme.cost = Walker.cost w; hops = Walker.hops w }
+
+let table_bits t v =
+  let n = Metric.n t.metric in
+  let id = Bits.id_bits n in
+  if t.is_landmark.(v) then (n - 1) * id
+  else
+    (* next hops to every landmark + the bunch, plus l(v)'s identity *)
+    let landmarks = Array.fold_left (fun a b -> if b then a + 1 else a) 0 t.is_landmark in
+    ((landmarks + t.bunch_size.(v)) * id) + id
+
+let labeled m ~seed =
+  let t = build m ~seed in
+  { Scheme.l_name = "landmark (TZ stretch-3)";
+    label = Fun.id;
+    route_to_label = (fun ~src ~dest_label -> route t ~src ~dst:dest_label);
+    l_table_bits = table_bits t;
+    l_label_bits = Bits.id_bits (Metric.n m);
+    l_header_bits = 2 * Bits.id_bits (Metric.n m) }
+
+let name_independent m (naming : Workload.naming) ~seed =
+  let t = build m ~seed in
+  let n = Metric.n m in
+  { Scheme.ni_name = "landmark (TZ stretch-3)";
+    route_to_name =
+      (fun ~src ~dest_name ->
+        route t ~src ~dst:naming.Workload.node_of.(dest_name));
+    ni_table_bits = (fun v -> table_bits t v + (n * Bits.id_bits n));
+    ni_header_bits = 2 * Bits.id_bits (Metric.n m) }

@@ -1,0 +1,26 @@
+(** A Thorup-Zwick / Cowen-style landmark scheme: the classic stretch-3
+    compact routing point for *general* graphs, reproduced here as the
+    related-work row of the paper's Tables 1-2 (TZ achieve stretch 3 with
+    ~n^(1/2)-bit tables; stretch below 3 provably needs ~n^(1/2) bits, which
+    is exactly the barrier the doubling-dimension assumption removes).
+
+    Structure: a random landmark set W of ~sqrt(n ln n) nodes. A landmark
+    keeps a full next-hop table. A regular node u keeps next hops to every
+    landmark and to its bunch B(u) = { v : d(u,v) < d(u, W) }. Routing to
+    [v]: direct if v is in the bunch (or u is a landmark), otherwise via
+    u's nearest landmark — at most
+    d(u, l(u)) + d(l(u), v) <= 2 d(u,v) + d(u,v) = 3 d(u,v)
+    because v outside the bunch certifies d(u, l(u)) <= d(u, v). *)
+
+(** [labeled m ~seed] builds the scheme with a seeded landmark sample. *)
+val labeled : Cr_metric.Metric.t -> seed:int -> Cr_sim.Scheme.labeled
+
+(** [name_independent m naming ~seed] adds the naive full name directory at
+    every node, like the other baselines. *)
+val name_independent :
+  Cr_metric.Metric.t -> Cr_sim.Workload.naming -> seed:int ->
+  Cr_sim.Scheme.name_independent
+
+(** [landmark_count n] is the sample size used for an n-node network:
+    ceil(sqrt(n ln n)), clamped to [1, n]. *)
+val landmark_count : int -> int

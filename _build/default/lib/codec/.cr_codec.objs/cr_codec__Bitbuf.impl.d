@@ -1,0 +1,1 @@
+lib/codec/bitbuf.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/codec/scheme_codec.ml: Cr_core Cr_metric Cr_nets List Table_codec

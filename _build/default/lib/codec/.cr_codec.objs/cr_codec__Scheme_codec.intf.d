@@ -1,0 +1,1 @@
+lib/codec/scheme_codec.mli: Bytes Cr_core Table_codec

@@ -1,0 +1,1 @@
+lib/codec/table_codec.ml: Bitbuf Cr_metric List

@@ -1,0 +1,1 @@
+lib/codec/table_codec.mli: Bytes

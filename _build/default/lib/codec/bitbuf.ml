@@ -1,0 +1,57 @@
+type writer = {
+  mutable buf : Bytes.t;
+  mutable bit_len : int;
+}
+
+let writer () = { buf = Bytes.make 16 '\000'; bit_len = 0 }
+
+let ensure w bits =
+  let needed = (w.bit_len + bits + 7) / 8 in
+  if needed > Bytes.length w.buf then begin
+    let next = Bytes.make (max needed (2 * Bytes.length w.buf)) '\000' in
+    Bytes.blit w.buf 0 next 0 (Bytes.length w.buf);
+    w.buf <- next
+  end
+
+let set_bit buf pos =
+  let byte = pos / 8 and off = pos mod 8 in
+  Bytes.set buf byte
+    (Char.chr (Char.code (Bytes.get buf byte) lor (0x80 lsr off)))
+
+let push w ~bits value =
+  if bits < 0 || bits > 62 then invalid_arg "Bitbuf.push: bits out of range";
+  if value < 0 || (bits < 62 && value lsr bits <> 0) then
+    invalid_arg "Bitbuf.push: value does not fit";
+  ensure w bits;
+  for k = bits - 1 downto 0 do
+    if (value lsr k) land 1 = 1 then set_bit w.buf w.bit_len;
+    w.bit_len <- w.bit_len + 1
+  done
+
+let length_bits w = w.bit_len
+
+let contents w = Bytes.sub w.buf 0 ((w.bit_len + 7) / 8)
+
+type reader = {
+  data : Bytes.t;
+  mutable pos : int;
+}
+
+let reader data = { data; pos = 0 }
+
+let get_bit r =
+  let byte = r.pos / 8 and off = r.pos mod 8 in
+  if byte >= Bytes.length r.data then
+    invalid_arg "Bitbuf.pull: past end of buffer";
+  r.pos <- r.pos + 1;
+  (Char.code (Bytes.get r.data byte) lsr (7 - off)) land 1
+
+let pull r ~bits =
+  if bits < 0 || bits > 62 then invalid_arg "Bitbuf.pull: bits out of range";
+  let value = ref 0 in
+  for _ = 1 to bits do
+    value := (!value lsl 1) lor get_bit r
+  done;
+  !value
+
+let bits_read r = r.pos

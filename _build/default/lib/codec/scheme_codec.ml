@@ -1,0 +1,57 @@
+module Metric = Cr_metric.Metric
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Rings = Cr_core.Rings
+module Hier_labeled = Cr_core.Hier_labeled
+
+let framing scheme =
+  let nt = Hier_labeled.netting_tree scheme in
+  let h = Netting_tree.hierarchy nt in
+  let m = Hierarchy.metric h in
+  (nt, m, Metric.n m, Hierarchy.top_level h + 1)
+
+let ring_levels scheme v =
+  let nt, m, _, _ = framing scheme in
+  let rings = Hier_labeled.rings scheme in
+  List.map
+    (fun level ->
+      let entries =
+        List.map
+          (fun x ->
+            let range = Netting_tree.range nt ~level x in
+            { Table_codec.member = x;
+              range_lo = range.Netting_tree.lo;
+              range_hi = range.Netting_tree.hi;
+              next_hop =
+                (if x = v then v else Metric.next_hop m ~src:v ~dst:x) })
+          (Rings.ring rings v ~level)
+      in
+      { Table_codec.level; entries })
+    (Rings.selected_levels rings v)
+
+let encode_node scheme v =
+  let _, _, n, level_count = framing scheme in
+  Table_codec.encode_rings ~n ~level_count (ring_levels scheme v)
+
+let decode_node scheme data =
+  let _, _, n, level_count = framing scheme in
+  Table_codec.decode_rings ~n ~level_count data
+
+let encoded_bits scheme v =
+  let _, _, n, level_count = framing scheme in
+  Table_codec.rings_bits ~n ~level_count (ring_levels scheme v)
+
+let next_hop_from_table levels ~self ~dest_label =
+  let covering =
+    List.find_map
+      (fun { Table_codec.entries; _ } ->
+        List.find_opt
+          (fun (e : Table_codec.ring_entry) ->
+            e.range_lo <= dest_label && dest_label <= e.range_hi)
+          entries)
+      levels
+  in
+  match covering with
+  | Some e when e.Table_codec.member = self -> None
+  | Some e -> Some e.Table_codec.next_hop
+  | None -> invalid_arg "Scheme_codec.next_hop_from_table: label not covered"

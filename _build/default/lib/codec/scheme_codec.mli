@@ -1,0 +1,29 @@
+(** Serializing a complete node state of the hierarchical labeled scheme.
+
+    [encode_node] extracts a node's entire routing state — every selected
+    level's ring with ranges and next hops — and packs it with Table_codec;
+    [decode_node] restores the plain data. A decoded node state is
+    sufficient to run the scheme's forwarding decision at that node (find
+    the lowest level whose range covers the destination label, forward to
+    the stored next hop), which the test suite exercises by re-routing a
+    packet with decoded tables only. This closes the loop on the bit
+    accounting: the measured "table bits" correspond to a real wire format
+    a router could ship. *)
+
+(** [encode_node scheme v] is node [v]'s routing table on the wire. *)
+val encode_node : Cr_core.Hier_labeled.t -> int -> Bytes.t
+
+(** [decode_node scheme bytes] recovers the ring levels (the scheme value
+    is needed only for the universe/level-count framing, not the data). *)
+val decode_node :
+  Cr_core.Hier_labeled.t -> Bytes.t -> Table_codec.ring_level list
+
+(** [encoded_bits scheme v] is the exact wire size of [v]'s table. *)
+val encoded_bits : Cr_core.Hier_labeled.t -> int -> int
+
+(** [next_hop_from_table levels ~dest_label] replays the scheme's
+    forwarding decision from a decoded table: the next hop stored with the
+    lowest-level ring entry whose range covers the label ([None] when the
+    node itself holds the label, i.e. the packet has arrived). *)
+val next_hop_from_table :
+  Table_codec.ring_level list -> self:int -> dest_label:int -> int option

@@ -1,0 +1,102 @@
+module Bits = Cr_metric.Bits
+
+type ring_entry = {
+  member : int;
+  range_lo : int;
+  range_hi : int;
+  next_hop : int;
+}
+
+type ring_level = {
+  level : int;
+  entries : ring_entry list;
+}
+
+type interval_table = {
+  own_lo : int;
+  own_hi : int;
+  parent_port : int;
+  children : (int * int * int) list;
+}
+
+let count_bits = 16
+
+let encode_rings ~n ~level_count levels =
+  let id = Bits.id_bits n in
+  let lvl = Bits.ceil_log2 (level_count + 1) in
+  let w = Bitbuf.writer () in
+  Bitbuf.push w ~bits:count_bits (List.length levels);
+  List.iter
+    (fun { level; entries } ->
+      Bitbuf.push w ~bits:lvl level;
+      Bitbuf.push w ~bits:count_bits (List.length entries);
+      List.iter
+        (fun e ->
+          Bitbuf.push w ~bits:id e.member;
+          Bitbuf.push w ~bits:id e.range_lo;
+          Bitbuf.push w ~bits:id e.range_hi;
+          Bitbuf.push w ~bits:id e.next_hop)
+        entries)
+    levels;
+  Bitbuf.contents w
+
+let decode_rings ~n ~level_count data =
+  let id = Bits.id_bits n in
+  let lvl = Bits.ceil_log2 (level_count + 1) in
+  let r = Bitbuf.reader data in
+  let level_total = Bitbuf.pull r ~bits:count_bits in
+  List.init level_total (fun _ ->
+      let level = Bitbuf.pull r ~bits:lvl in
+      let entry_total = Bitbuf.pull r ~bits:count_bits in
+      let entries =
+        List.init entry_total (fun _ ->
+            let member = Bitbuf.pull r ~bits:id in
+            let range_lo = Bitbuf.pull r ~bits:id in
+            let range_hi = Bitbuf.pull r ~bits:id in
+            let next_hop = Bitbuf.pull r ~bits:id in
+            { member; range_lo; range_hi; next_hop })
+      in
+      { level; entries })
+
+let rings_bits ~n ~level_count levels =
+  let id = Bits.id_bits n in
+  let lvl = Bits.ceil_log2 (level_count + 1) in
+  List.fold_left
+    (fun acc { entries; _ } ->
+      acc + lvl + count_bits + (4 * id * List.length entries))
+    count_bits levels
+
+let encode_interval ~n table =
+  let id = Bits.id_bits n in
+  let w = Bitbuf.writer () in
+  Bitbuf.push w ~bits:id table.own_lo;
+  Bitbuf.push w ~bits:id table.own_hi;
+  Bitbuf.push w ~bits:id table.parent_port;
+  Bitbuf.push w ~bits:count_bits (List.length table.children);
+  List.iter
+    (fun (lo, hi, port) ->
+      Bitbuf.push w ~bits:id lo;
+      Bitbuf.push w ~bits:id hi;
+      Bitbuf.push w ~bits:id port)
+    table.children;
+  Bitbuf.contents w
+
+let decode_interval ~n data =
+  let id = Bits.id_bits n in
+  let r = Bitbuf.reader data in
+  let own_lo = Bitbuf.pull r ~bits:id in
+  let own_hi = Bitbuf.pull r ~bits:id in
+  let parent_port = Bitbuf.pull r ~bits:id in
+  let child_total = Bitbuf.pull r ~bits:count_bits in
+  let children =
+    List.init child_total (fun _ ->
+        let lo = Bitbuf.pull r ~bits:id in
+        let hi = Bitbuf.pull r ~bits:id in
+        let port = Bitbuf.pull r ~bits:id in
+        (lo, hi, port))
+  in
+  { own_lo; own_hi; parent_port; children }
+
+let interval_bits ~n table =
+  let id = Bits.id_bits n in
+  (3 * id) + count_bits + (3 * id * List.length table.children)

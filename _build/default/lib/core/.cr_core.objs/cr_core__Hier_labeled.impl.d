@@ -1,0 +1,1 @@
+lib/core/hier_labeled.ml: Cr_metric Cr_nets Cr_sim Rings Underlying

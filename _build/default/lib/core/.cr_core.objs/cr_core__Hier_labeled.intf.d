@@ -1,0 +1,1 @@
+lib/core/hier_labeled.mli: Cr_nets Cr_sim Rings Underlying

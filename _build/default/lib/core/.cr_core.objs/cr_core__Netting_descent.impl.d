@@ -1,0 +1,1 @@
+lib/core/netting_descent.ml: Cr_metric Cr_nets Cr_sim List

@@ -1,0 +1,1 @@
+lib/core/netting_descent.mli: Cr_nets Cr_sim

@@ -1,0 +1,1 @@
+lib/core/rings.ml: Array Cr_metric Cr_nets Float Fun List

@@ -1,0 +1,1 @@
+lib/core/rings.mli: Cr_nets

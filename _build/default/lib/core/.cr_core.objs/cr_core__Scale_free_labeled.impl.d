@@ -1,0 +1,1 @@
+lib/core/scale_free_labeled.ml: Array Cr_metric Cr_nets Cr_packing Cr_search Cr_sim Cr_tree Float Hashtbl List Netting_descent Rings Underlying

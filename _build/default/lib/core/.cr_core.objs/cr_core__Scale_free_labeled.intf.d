@@ -1,0 +1,1 @@
+lib/core/scale_free_labeled.mli: Cr_nets Cr_sim Underlying

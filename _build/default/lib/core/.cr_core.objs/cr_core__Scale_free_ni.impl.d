@@ -1,0 +1,1 @@
+lib/core/scale_free_ni.ml: Array Cr_metric Cr_nets Cr_packing Cr_search Cr_sim Float Hashtbl List Option Simple_ni Underlying

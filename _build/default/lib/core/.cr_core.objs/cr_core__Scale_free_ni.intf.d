@@ -1,0 +1,1 @@
+lib/core/scale_free_ni.mli: Cr_nets Cr_sim Simple_ni Underlying

@@ -1,0 +1,1 @@
+lib/core/simple_ni.ml: Array Cr_metric Cr_nets Cr_search Cr_sim Float Hashtbl List Underlying

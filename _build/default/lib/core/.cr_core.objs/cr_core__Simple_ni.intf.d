@@ -1,0 +1,1 @@
+lib/core/simple_ni.mli: Cr_nets Cr_sim Underlying

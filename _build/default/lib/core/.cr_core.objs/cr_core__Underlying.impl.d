@@ -1,0 +1,1 @@
+lib/core/underlying.ml: Cr_sim

@@ -1,0 +1,1 @@
+lib/core/underlying.mli: Cr_sim

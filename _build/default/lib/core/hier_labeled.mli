@@ -1,0 +1,44 @@
+(** The non-scale-free (1 + O(eps))-stretch labeled routing scheme — our
+    concrete stand-in for the Abraham-Gavoille-Goldberg-Malkhi scheme the
+    paper cites as Lemma 3.1 (see DESIGN.md, substitution 1).
+
+    Labels are the netting tree's DFS leaf numbers (ceil(log n) bits).
+    Every node stores rings X_i(u) for *every* level i in [0, log Delta]
+    with ranges and next hops; routing repeatedly forwards one hop toward
+    the lowest-level ring member whose range covers the destination label.
+    The minimal covering level never increases along the walk and strictly
+    decreases each time a ring member is reached, so the packet converges
+    on the destination with (1 + O(eps)) stretch while tables cost
+    (1/eps)^(O(alpha)) log Delta log n bits — exactly the Lemma 3.1
+    trade-off. *)
+
+type t
+
+(** [build nt ~epsilon] prepares the scheme over netting tree [nt]. *)
+val build : Cr_nets.Netting_tree.t -> epsilon:float -> t
+
+(** [label t v] is v's routing label (DFS leaf number). *)
+val label : t -> int -> int
+
+(** [rings t] / [netting_tree t] expose the underlying structures (used by
+    the wire-format codec and the invariant checkers). *)
+val rings : t -> Rings.t
+
+val netting_tree : t -> Cr_nets.Netting_tree.t
+
+(** [walk t w ~dest_label] advances walker [w] from its current position to
+    the node labeled [dest_label]. *)
+val walk : t -> Cr_sim.Walker.t -> dest_label:int -> unit
+
+(** [table_bits t v] is the measured per-node storage in bits. *)
+val table_bits : t -> int -> int
+
+val label_bits : t -> int
+val header_bits : t -> int
+
+(** [to_scheme t] packages the scheme for the measurement harness. *)
+val to_scheme : t -> Cr_sim.Scheme.labeled
+
+(** [to_underlying t] packages the scheme for use below a name-independent
+    scheme. *)
+val to_underlying : t -> Underlying.t

@@ -1,0 +1,44 @@
+module Metric = Cr_metric.Metric
+module Hierarchy = Cr_nets.Hierarchy
+module Zoom = Cr_nets.Zoom
+module Netting_tree = Cr_nets.Netting_tree
+module Walker = Cr_sim.Walker
+
+type t = {
+  nt : Netting_tree.t;
+  metric : Metric.t;
+  zoom : Zoom.t;
+  top : int;
+}
+
+let build nt =
+  let h = Netting_tree.hierarchy nt in
+  { nt;
+    metric = Hierarchy.metric h;
+    zoom = Zoom.build h;
+    top = Hierarchy.top_level h }
+
+let walk t w ~dest_label =
+  let dest = Netting_tree.node_of_label t.nt dest_label in
+  (* Climb: walk the current node's zooming sequence to the root. *)
+  let start = Walker.position w in
+  for i = 1 to t.top do
+    Walker.walk_shortest_path w (Zoom.step t.zoom start i)
+  done;
+  (* Descend: at each level pick the child whose range covers the label. *)
+  let rec descend level x =
+    if level = 0 then assert (x = dest)
+    else begin
+      let child =
+        List.find
+          (fun y ->
+            Netting_tree.in_range
+              (Netting_tree.range t.nt ~level:(level - 1) y)
+              dest_label)
+          (Netting_tree.children t.nt ~level x)
+      in
+      Walker.walk_shortest_path w child;
+      descend (level - 1) child
+    end
+  in
+  descend t.top (Walker.position w)

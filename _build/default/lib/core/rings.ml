@@ -1,0 +1,121 @@
+module Metric = Cr_metric.Metric
+module Bits = Cr_metric.Bits
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+
+type mode =
+  | All_levels
+  | Selected
+
+type t = {
+  nt : Netting_tree.t;
+  metric : Metric.t;
+  eps_eff : float;
+  levels : int list array;  (* levels.(u) = R(u), increasing *)
+  selected : bool array array;  (* selected.(i).(u) *)
+  members : int list array array;  (* members.(i).(u) = X_i(u); [] if i not in R(u) *)
+}
+
+let effective_epsilon t = t.eps_eff
+
+let compute_selected m ~eps_eff ~top u =
+  (* R(u) = { i : exists j, (eps/6) r_u(j) <= 2^i <= r_u(j) }. The paper
+     assumes n is a power of two; for general n the top ball scale is
+     clamped to size n so that the coarsest radii still select levels. *)
+  let n = Metric.n m in
+  let log_n = Bits.ceil_log2 n in
+  let result = ref [] in
+  for i = top downto 0 do
+    let two_i = Float.pow 2.0 (float_of_int i) in
+    let hit = ref false in
+    for j = 0 to log_n do
+      let size = min (1 lsl j) n in
+      let r = Metric.radius_of_size m u size in
+      if (eps_eff /. 6.0) *. r <= two_i && two_i <= r then hit := true
+    done;
+    if !hit then result := i :: !result
+  done;
+  !result
+
+let build nt ~epsilon ~mode =
+  if epsilon <= 0.0 || epsilon >= 1.0 then
+    invalid_arg "Rings.build: epsilon must be in (0, 1)";
+  let h = Netting_tree.hierarchy nt in
+  let m = Hierarchy.metric h in
+  let n = Metric.n m in
+  let top = Hierarchy.top_level h in
+  let eps_eff = Float.min epsilon (1.0 /. 6.0) in
+  let levels =
+    Array.init n (fun u ->
+        match mode with
+        | All_levels -> List.init (top + 1) Fun.id
+        | Selected -> compute_selected m ~eps_eff ~top u)
+  in
+  let selected = Array.init (top + 1) (fun _ -> Array.make n false) in
+  Array.iteri
+    (fun u ls -> List.iter (fun i -> selected.(i).(u) <- true) ls)
+    levels;
+  let members = Array.init (top + 1) (fun _ -> Array.make n []) in
+  (* Fill X_i(u) by scanning each net once: for every net point x in Y_i,
+     add x to the ring of every node within the ring radius. *)
+  for i = 0 to top do
+    let radius = Float.pow 2.0 (float_of_int i) /. eps_eff in
+    List.iter
+      (fun x ->
+        for u = 0 to n - 1 do
+          if selected.(i).(u) && Metric.dist m u x <= radius then
+            members.(i).(u) <- x :: members.(i).(u)
+        done)
+      (Hierarchy.net h i)
+  done;
+  Array.iter
+    (fun per_level ->
+      Array.iteri (fun u l -> per_level.(u) <- List.rev l) per_level)
+    members;
+  { nt; metric = m; eps_eff; levels; selected; members }
+
+let netting_tree t = t.nt
+let selected_levels t u = t.levels.(u)
+
+let check_level t level =
+  if level < 0 || level >= Array.length t.selected then
+    invalid_arg "Rings: level out of range"
+
+let is_selected t u ~level =
+  check_level t level;
+  t.selected.(level).(u)
+
+let ring t u ~level =
+  check_level t level;
+  if not (t.selected.(level).(u)) then
+    invalid_arg "Rings.ring: level not selected at this node";
+  t.members.(level).(u)
+
+let find_cover t ~at ~level ~label =
+  check_level t level;
+  if not (t.selected.(level).(at)) then None
+  else
+    List.find_opt
+      (fun x ->
+        Netting_tree.in_range (Netting_tree.range t.nt ~level x) label)
+      t.members.(level).(at)
+
+let minimal_cover_level t ~at ~label =
+  let rec go = function
+    | [] -> None
+    | level :: rest ->
+      (match find_cover t ~at ~level ~label with
+      | Some x -> Some (level, x)
+      | None -> go rest)
+  in
+  go t.levels.(at)
+
+let table_bits t u =
+  let n = Metric.n t.metric in
+  let top = Array.length t.selected - 1 in
+  let level_bits = Bits.ceil_log2 (top + 1) in
+  let per_member = Bits.range_bits n + Bits.id_bits n + Bits.id_bits n in
+  List.fold_left
+    (fun acc level ->
+      acc + level_bits + (per_member * List.length t.members.(level).(u)))
+    0 t.levels.(u)

@@ -1,0 +1,57 @@
+(** Rings of net points: X_i(u) = B_u(2^i / eps) ∩ Y_i, and the selected
+    level set R(u) (Section 4.1).
+
+    The scale-free labeled scheme stores ring information only for levels
+    i in R(u) = { i : exists j, (eps/6) r_u(j) <= 2^i <= r_u(j) } — that is
+    what removes the log Delta factor from its tables; the non-scale-free
+    hierarchical scheme stores every level. Both variants are built here,
+    chosen by [mode].
+
+    For every ring member x the node stores Range(x, i) (to test label
+    coverage) and the next hop on the shortest path toward x. *)
+
+type t
+
+type mode =
+  | All_levels  (** R(u) = [0, log Delta]: the Lemma 3.1-style scheme *)
+  | Selected  (** the paper's R(u): scale-free storage *)
+
+(** [build nt ~epsilon ~mode] computes rings over the netting tree [nt]'s
+    hierarchy. [epsilon] must be in (0, 1); ring radii use the scheme's
+    internal effective epsilon (see [effective_epsilon]). *)
+val build : Cr_nets.Netting_tree.t -> epsilon:float -> mode:mode -> t
+
+(** [effective_epsilon t] is min(eps, 1/6): the slack that guarantees a
+    covering ring member always exists at some selected level (the paper
+    absorbs this constant in its O(eps) notation; see Section 4.2 and
+    DESIGN.md). Ring radii are 2^i / effective_epsilon. *)
+val effective_epsilon : t -> float
+
+(** [netting_tree t] is the underlying netting tree. *)
+val netting_tree : t -> Cr_nets.Netting_tree.t
+
+(** [selected_levels t u] is R(u), increasing. *)
+val selected_levels : t -> int -> int list
+
+(** [is_selected t u ~level] is true iff [level] is in R(u). *)
+val is_selected : t -> int -> level:int -> bool
+
+(** [ring t u ~level] is X_level(u), increasing ids. Raises
+    [Invalid_argument] if [level] is not in R(u). *)
+val ring : t -> int -> level:int -> int list
+
+(** [find_cover t ~at ~level ~label] is the unique x in X_level(at) whose
+    Range(x, level) contains [label], if any; levels not in R(at) yield
+    [None]. *)
+val find_cover : t -> at:int -> level:int -> label:int -> int option
+
+(** [minimal_cover_level t ~at ~label] is the least level of R(at) at which
+    [find_cover] succeeds, with its witness. [None] only if no selected
+    level covers the label (which the effective-epsilon slack rules out for
+    reachable labels; callers treat it as a fallback trigger). *)
+val minimal_cover_level : t -> at:int -> label:int -> (int * int) option
+
+(** [table_bits t u] is the measured ring storage at [u]: per member one
+    range, one next-hop id, and the member's id; plus one level index per
+    selected level. *)
+val table_bits : t -> int -> int

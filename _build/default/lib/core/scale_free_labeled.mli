@@ -1,0 +1,63 @@
+(** The scale-free (1 + O(eps))-stretch labeled routing scheme of
+    Theorem 1.2 (Section 4, Algorithm 5).
+
+    Data structures per node u:
+    - rings X_i(u) with ranges and next hops, but only for the selected
+      levels R(u) (Section 4.1) — this removes the log Delta storage factor;
+    - for every j in [0, log2 n]: u's Voronoi cell center c among the
+      packing B_j's centers, u's parent in the cell's shortest-path tree
+      T_c(j), and u's interval-routing table for T_c(j);
+    - the search tree II T'(c, r_c(j)) of every packed ball whose tree
+      contains u, storing (global label, local tree label) pairs for the
+      cell nodes within radius r_c(j+1) of c.
+
+    Routing (Algorithm 5): greedily forward toward the lowest-selected-level
+    ring member whose range covers the destination label while levels
+    shrink and the target stays far (lines 2-6); once the loop exits, pick
+    the packing scale j matching the last level, climb the local Voronoi
+    tree to its center, look up the destination's local tree label in the
+    search tree II, and tree-route to it (lines 7-10).
+
+    A netting-descent fallback guarantees delivery outside the theorem's
+    premises; invocations are counted and expected to be zero. *)
+
+type t
+
+(** [build nt ~epsilon] precomputes all structures. *)
+val build : Cr_nets.Netting_tree.t -> epsilon:float -> t
+
+(** [label t v] is v's ceil(log n)-bit routing label (netting-tree DFS
+    number). *)
+val label : t -> int -> int
+
+(** Phase breakdown of one Algorithm 5 route, as reported to a [walk]
+    observer — the data Figure 2 illustrates. [exit_level] and [scale] are
+    -1 when the ring phase delivered the packet by itself. *)
+type phase_report = {
+  exit_level : int;
+  scale : int;
+  ring_cost : float;
+  climb_cost : float;
+  search_cost : float;
+  tree_cost : float;
+}
+
+(** [walk t w ~dest_label] advances walker [w] to the node labeled
+    [dest_label] following Algorithm 5; [observe] is called once on the
+    fast path (not on fallback). *)
+val walk :
+  ?observe:(phase_report -> unit) -> t -> Cr_sim.Walker.t -> dest_label:int ->
+  unit
+
+(** [fallback_count t] is the number of times routing left the theorem's
+    fast path since [build]. *)
+val fallback_count : t -> int
+
+(** [table_bits t v] is the measured per-node storage in bits (fallback
+    structures excluded; see interface comment). *)
+val table_bits : t -> int -> int
+
+val label_bits : t -> int
+val header_bits : t -> int
+val to_scheme : t -> Cr_sim.Scheme.labeled
+val to_underlying : t -> Underlying.t

@@ -1,0 +1,260 @@
+module Metric = Cr_metric.Metric
+module Bits = Cr_metric.Bits
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Zoom = Cr_nets.Zoom
+module Ball_packing = Cr_packing.Ball_packing
+module Search_tree = Cr_search.Search_tree
+module Walker = Cr_sim.Walker
+module Scheme = Cr_sim.Scheme
+module Workload = Cr_sim.Workload
+
+type packed_tree = {
+  center : int;
+  scale : int;  (* the packing level j *)
+  ext_set : (int, unit) Hashtbl.t;  (* the 2^(j+2) nodes whose pairs it holds *)
+  st : Search_tree.t;
+}
+
+type search_site =
+  | Local of Search_tree.t  (* type A: own tree on B_u(2^i/eps) *)
+  | Link of packed_tree  (* H(u, i) *)
+
+type t = {
+  nt : Netting_tree.t;
+  metric : Metric.t;
+  zoom : Zoom.t;
+  eps_eff : float;
+  naming : Workload.naming;
+  underlying : Underlying.t;
+  sites : (int * int, search_site) Hashtbl.t;  (* (level i, u in Y_i) *)
+  trees_of : Search_tree.t list array;
+  h_links : (int * packed_tree) list array;
+      (* u -> (level, linked ball) for every i in S(u), level-increasing *)
+  type_a : int;
+  type_b : int;
+  top : int;
+}
+
+let ni_effective_epsilon epsilon = Float.min epsilon 0.4
+
+let build nt ~epsilon ~naming ~underlying =
+  if epsilon <= 0.0 || epsilon >= 1.0 then
+    invalid_arg "Scale_free_ni.build: epsilon must be in (0, 1)";
+  let h = Netting_tree.hierarchy nt in
+  let m = Hierarchy.metric h in
+  let n = Metric.n m in
+  let top = Hierarchy.top_level h in
+  let eps_eff = ni_effective_epsilon epsilon in
+  let trees_of = Array.make n [] in
+  let register st =
+    List.iter (fun v -> trees_of.(v) <- st :: trees_of.(v))
+      (Search_tree.members st)
+  in
+  let directory_pairs nodes =
+    List.map
+      (fun v ->
+        (naming.Workload.name_of.(v), underlying.Underlying.u_label v))
+      nodes
+  in
+  (* Type-B trees: one per packed ball at every scale j. *)
+  let packings = Ball_packing.build_all m in
+  let packed_levels =
+    Array.map
+      (fun packing ->
+        let j = Ball_packing.size_exponent packing in
+        List.map
+          (fun (ball : Ball_packing.ball) ->
+            let ext_nodes = Metric.nearest_k m ball.center (min (1 lsl (j + 2)) n) in
+            let ext_set = Hashtbl.create (List.length ext_nodes) in
+            List.iter (fun v -> Hashtbl.replace ext_set v ()) ext_nodes;
+            let st =
+              Search_tree.build m ~epsilon:eps_eff ~center:ball.center
+                ~radius:(Float.max ball.radius 1.0)
+                ~members:(Array.to_list ball.members)
+                ~level_cap:None ~pairs:(directory_pairs ext_nodes) ~universe:n
+            in
+            register st;
+            (ball, { center = ball.center; scale = j; ext_set; st }))
+          (Ball_packing.balls packing))
+      packings
+  in
+  let type_b = Array.fold_left (fun acc l -> acc + List.length l) 0 packed_levels in
+  (* Type-A trees and H links, per (level, net point). *)
+  let sites = Hashtbl.create 256 in
+  let h_links = Array.make n [] in
+  let type_a = ref 0 in
+  for i = 0 to top do
+    let two_i = Float.pow 2.0 (float_of_int i) in
+    let radius = two_i /. eps_eff in
+    let outer = two_i *. ((1.0 /. eps_eff) +. 1.0) in
+    List.iter
+      (fun u ->
+        let members = Metric.ball m ~center:u ~radius in
+        (* Exclusion test: find a packed ball B (minimal j, then minimal
+           d(u, c)) inside B_u(outer) whose extended ball contains every
+           candidate member. *)
+        let covering = ref None in
+        let level_idx = ref 0 in
+        while !covering = None && !level_idx < Array.length packed_levels do
+          let candidates =
+            List.filter
+              (fun ((ball : Ball_packing.ball), pt) ->
+                Metric.dist m u ball.center <= outer
+                && Hashtbl.length pt.ext_set >= List.length members
+                && Array.for_all
+                     (fun x -> Metric.dist m u x <= outer)
+                     ball.members
+                && List.for_all (fun y -> Hashtbl.mem pt.ext_set y) members)
+              packed_levels.(!level_idx)
+          in
+          (match candidates with
+          | [] -> ()
+          | _ :: _ ->
+            let best =
+              List.fold_left
+                (fun acc ((ball : Ball_packing.ball), pt) ->
+                  match acc with
+                  | None -> Some (ball, pt)
+                  | Some ((b', _) as a) ->
+                    if
+                      Metric.dist m u ball.center < Metric.dist m u b'.center
+                    then Some (ball, pt)
+                    else Some a)
+                None candidates
+            in
+            covering := Option.map snd best);
+          incr level_idx
+        done;
+        match !covering with
+        | Some pt ->
+          Hashtbl.replace sites (i, u) (Link pt);
+          h_links.(u) <- h_links.(u) @ [ (i, pt) ]
+        | None ->
+          let st =
+            Search_tree.build m ~epsilon:eps_eff ~center:u ~radius ~members
+              ~level_cap:None ~pairs:(directory_pairs members) ~universe:n
+          in
+          register st;
+          incr type_a;
+          Hashtbl.replace sites (i, u) (Local st))
+      (Hierarchy.net h i)
+  done;
+  { nt; metric = m; zoom = Zoom.build h; eps_eff; naming; underlying;
+    sites; trees_of; h_links; type_a = !type_a; type_b; top }
+
+let execute_search t w st ~key =
+  let result = Search_tree.search st ~key in
+  List.iter
+    (fun (leg : Search_tree.leg) ->
+      match leg.chained_cost with
+      | Some c -> Walker.teleport w leg.dst ~cost:c
+      | None ->
+        t.underlying.Underlying.u_walk w
+          ~dest_label:(t.underlying.Underlying.u_label leg.dst))
+    result.legs;
+  result.data
+
+(* Algorithm 4. *)
+let search t w ~hub ~level ~key =
+  match Hashtbl.find t.sites (level, hub) with
+  | Local st -> execute_search t w st ~key
+  | Link pt ->
+    t.underlying.Underlying.u_walk w
+      ~dest_label:(t.underlying.Underlying.u_label pt.center);
+    let data = execute_search t w pt.st ~key in
+    t.underlying.Underlying.u_walk w
+      ~dest_label:(t.underlying.Underlying.u_label hub);
+    data
+
+type level_report = Simple_ni.level_report = {
+  level : int;
+  hub : int;
+  climb_cost : float;
+  search_cost : float;
+  found : bool;
+}
+
+(* Algorithm 3, with Search() in place of SearchTree(). *)
+let walk ?(observe = fun (_ : level_report) -> ()) t w ~dest_name =
+  let src = Walker.position w in
+  let rec attempt i =
+    if i > t.top then
+      invalid_arg "Scale_free_ni.walk: name not found at the top level"
+    else begin
+      let hub = Zoom.step t.zoom src i in
+      let before_climb = Walker.cost w in
+      t.underlying.Underlying.u_walk w
+        ~dest_label:(t.underlying.Underlying.u_label hub);
+      let before_search = Walker.cost w in
+      let result = search t w ~hub ~level:i ~key:dest_name in
+      observe
+        { level = i; hub;
+          climb_cost = before_search -. before_climb;
+          search_cost = Walker.cost w -. before_search;
+          found = result <> None };
+      match result with
+      | Some dest_label -> t.underlying.Underlying.u_walk w ~dest_label
+      | None -> attempt (i + 1)
+    end
+  in
+  attempt 0
+
+let peek_search t ~hub ~level ~key =
+  match Hashtbl.find t.sites (level, hub) with
+  | Local st -> (Search_tree.search st ~key).data
+  | Link pt -> (Search_tree.search pt.st ~key).data
+
+let found_level t ~src ~dest_name =
+  let rec attempt i =
+    if i > t.top then invalid_arg "Scale_free_ni.found_level: not found"
+    else
+      let hub = Zoom.step t.zoom src i in
+      match peek_search t ~hub ~level:i ~key:dest_name with
+      | Some _ -> i
+      | None -> attempt (i + 1)
+  in
+  attempt 0
+
+let type_a_count t = t.type_a
+let type_b_count t = t.type_b
+let h_links_of t u = List.map fst t.h_links.(u)
+
+let trees_containing t v = List.length t.trees_of.(v)
+
+let h_link_balls t u =
+  List.map (fun (i, pt) -> (i, pt.scale, pt.center)) t.h_links.(u)
+
+let table_bits t v =
+  let n = Metric.n t.metric in
+  let level_bits = Bits.ceil_log2 (t.top + 2) in
+  let search_bits =
+    List.fold_left
+      (fun acc st -> acc + Search_tree.table_bits st v)
+      0 t.trees_of.(v)
+  in
+  let link_bits =
+    List.length t.h_links.(v) * (Bits.id_bits n + level_bits)
+  in
+  Bits.id_bits n + search_bits + link_bits
+  + t.underlying.Underlying.u_table_bits v
+
+let header_bits t =
+  let n = Metric.n t.metric in
+  (2 * Bits.id_bits n) + Bits.ceil_log2 (t.top + 2)
+  + t.underlying.Underlying.u_header_bits
+
+let default_budget m = 50_000 + (200 * Metric.n m)
+
+let to_scheme t =
+  { Scheme.ni_name = "scale-free name-independent (Thm 1.1)";
+    route_to_name =
+      (fun ~src ~dest_name ->
+        let w =
+          Walker.create t.metric ~start:src
+            ~max_hops:(default_budget t.metric)
+        in
+        walk t w ~dest_name;
+        { Scheme.cost = Walker.cost w; hops = Walker.hops w });
+    ni_table_bits = table_bits t;
+    ni_header_bits = header_bits t }

@@ -1,0 +1,149 @@
+module Metric = Cr_metric.Metric
+module Bits = Cr_metric.Bits
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Zoom = Cr_nets.Zoom
+module Search_tree = Cr_search.Search_tree
+module Walker = Cr_sim.Walker
+module Scheme = Cr_sim.Scheme
+module Workload = Cr_sim.Workload
+
+type t = {
+  nt : Netting_tree.t;
+  metric : Metric.t;
+  zoom : Zoom.t;
+  eps_eff : float;
+  naming : Workload.naming;
+  underlying : Underlying.t;
+  trees : (int * int, Search_tree.t) Hashtbl.t;  (* (level, net point) *)
+  trees_of : Search_tree.t list array;  (* search trees containing a node *)
+  min_level : int;
+  top : int;
+}
+
+let ni_effective_epsilon epsilon = Float.min epsilon 0.4
+
+let build ?(min_level = 0) nt ~epsilon ~naming ~underlying =
+  if epsilon <= 0.0 || epsilon >= 1.0 then
+    invalid_arg "Simple_ni.build: epsilon must be in (0, 1)";
+  let h = Netting_tree.hierarchy nt in
+  let m = Hierarchy.metric h in
+  let n = Metric.n m in
+  let top = Hierarchy.top_level h in
+  let eps_eff = ni_effective_epsilon epsilon in
+  if min_level < 0 || min_level > top then
+    invalid_arg "Simple_ni.build: min_level out of range";
+  let trees = Hashtbl.create 64 in
+  let trees_of = Array.make n [] in
+  for i = min_level to top do
+    let radius = Float.pow 2.0 (float_of_int i) /. eps_eff in
+    List.iter
+      (fun u ->
+        let members = Metric.ball m ~center:u ~radius in
+        let pairs =
+          List.map
+            (fun v -> (naming.Workload.name_of.(v), underlying.Underlying.u_label v))
+            members
+        in
+        let st =
+          Search_tree.build m ~epsilon:eps_eff ~center:u ~radius ~members
+            ~level_cap:None ~pairs ~universe:n
+        in
+        Hashtbl.replace trees (i, u) st;
+        List.iter (fun v -> trees_of.(v) <- st :: trees_of.(v)) members)
+      (Hierarchy.net h i)
+  done;
+  { nt; metric = m; zoom = Zoom.build h; eps_eff; naming; underlying;
+    trees; trees_of; min_level; top }
+
+(* Execute a search's virtual-edge trail: every leg endpoint holds the
+   other's routing label, so each leg is one underlying labeled route. *)
+let execute_search t w st ~key =
+  let result = Search_tree.search st ~key in
+  List.iter
+    (fun (leg : Search_tree.leg) ->
+      match leg.chained_cost with
+      | Some c -> Walker.teleport w leg.dst ~cost:c
+      | None ->
+        t.underlying.Underlying.u_walk w
+          ~dest_label:(t.underlying.Underlying.u_label leg.dst))
+    result.legs;
+  result.data
+
+type level_report = {
+  level : int;
+  hub : int;
+  climb_cost : float;  (** cost of reaching u(i) from the previous hub *)
+  search_cost : float;  (** cost of the SearchTree round trip at u(i) *)
+  found : bool;
+}
+
+let walk ?(observe = fun (_ : level_report) -> ()) t w ~dest_name =
+  let src = Walker.position w in
+  let rec attempt i =
+    if i > t.top then
+      invalid_arg "Simple_ni.walk: name not found at the top level"
+    else begin
+      let hub = Zoom.step t.zoom src i in
+      let before_climb = Walker.cost w in
+      t.underlying.Underlying.u_walk w
+        ~dest_label:(t.underlying.Underlying.u_label hub);
+      let before_search = Walker.cost w in
+      let st = Hashtbl.find t.trees (i, hub) in
+      let result = execute_search t w st ~key:dest_name in
+      observe
+        { level = i; hub;
+          climb_cost = before_search -. before_climb;
+          search_cost = Walker.cost w -. before_search;
+          found = result <> None };
+      match result with
+      | Some dest_label -> t.underlying.Underlying.u_walk w ~dest_label
+      | None -> attempt (i + 1)
+    end
+  in
+  attempt t.min_level
+
+let found_level t ~src ~dest_name =
+  let rec attempt i =
+    if i > t.top then
+      invalid_arg "Simple_ni.found_level: name not found"
+    else
+      let hub = Zoom.step t.zoom src i in
+      let st = Hashtbl.find t.trees (i, hub) in
+      match (Search_tree.search st ~key:dest_name).data with
+      | Some _ -> i
+      | None -> attempt (i + 1)
+  in
+  attempt t.min_level
+
+let table_bits t v =
+  let n = Metric.n t.metric in
+  let search_bits =
+    List.fold_left
+      (fun acc st -> acc + Search_tree.table_bits st v)
+      0 t.trees_of.(v)
+  in
+  (* netting-tree parent label + directories + underlying labeled tables *)
+  Bits.id_bits n + search_bits + t.underlying.Underlying.u_table_bits v
+
+let header_bits t =
+  let n = Metric.n t.metric in
+  (* destination name, current level, retrieved label once found, plus the
+     underlying scheme's header *)
+  (2 * Bits.id_bits n) + Bits.ceil_log2 (t.top + 2)
+  + t.underlying.Underlying.u_header_bits
+
+let default_budget m = 50_000 + (200 * Metric.n m)
+
+let to_scheme t =
+  { Scheme.ni_name = "simple name-independent (Thm 1.4)";
+    route_to_name =
+      (fun ~src ~dest_name ->
+        let w =
+          Walker.create t.metric ~start:src
+            ~max_hops:(default_budget t.metric)
+        in
+        walk t w ~dest_name;
+        { Scheme.cost = Walker.cost w; hops = Walker.hops w });
+    ni_table_bits = table_bits t;
+    ni_header_bits = header_bits t }

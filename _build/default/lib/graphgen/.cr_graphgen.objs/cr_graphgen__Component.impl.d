@@ -1,0 +1,1 @@
+lib/graphgen/component.ml: Array Cr_metric Hashtbl List

@@ -1,0 +1,1 @@
+lib/graphgen/component.mli: Cr_metric

@@ -1,0 +1,1 @@
+lib/graphgen/geometric.ml: Array Cr_metric Float Fun List Rng

@@ -1,0 +1,1 @@
+lib/graphgen/geometric.mli: Cr_metric

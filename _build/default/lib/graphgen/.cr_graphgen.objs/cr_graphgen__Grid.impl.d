@@ -1,0 +1,1 @@
+lib/graphgen/grid.ml: Component Cr_metric Rng

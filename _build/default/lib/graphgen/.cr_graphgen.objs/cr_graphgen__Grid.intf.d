@@ -1,0 +1,1 @@
+lib/graphgen/grid.mli: Cr_metric

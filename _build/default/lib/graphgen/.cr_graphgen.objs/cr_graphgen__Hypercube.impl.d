@@ -1,0 +1,1 @@
+lib/graphgen/hypercube.ml: Cr_metric

@@ -1,0 +1,1 @@
+lib/graphgen/hypercube.mli: Cr_metric

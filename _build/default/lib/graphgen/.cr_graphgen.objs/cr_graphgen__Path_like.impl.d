@@ -1,0 +1,1 @@
+lib/graphgen/path_like.ml: Cr_metric

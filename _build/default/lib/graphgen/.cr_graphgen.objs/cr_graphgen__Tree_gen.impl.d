@@ -1,0 +1,1 @@
+lib/graphgen/tree_gen.ml: Array Cr_metric List Rng

@@ -1,0 +1,1 @@
+lib/graphgen/tree_gen.mli: Cr_metric

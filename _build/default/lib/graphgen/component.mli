@@ -1,0 +1,11 @@
+(** Connected-component extraction, used by generators that delete nodes. *)
+
+(** [largest g] is the subgraph induced by the largest connected component
+    of [g], with nodes renumbered contiguously (order preserved). Ties are
+    broken toward the component containing the smallest node id. *)
+val largest : Cr_metric.Graph.t -> Cr_metric.Graph.t
+
+(** [induced g keep] is the subgraph induced by the node set [keep]
+    (renumbered in increasing id order). Raises [Invalid_argument] if
+    [keep] is empty. *)
+val induced : Cr_metric.Graph.t -> int list -> Cr_metric.Graph.t

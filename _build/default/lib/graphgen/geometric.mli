@@ -1,0 +1,20 @@
+(** Random geometric graphs: points in the unit square with edges to nearby
+    points, weighted by Euclidean distance. Low-dimensional geometric graphs
+    are the standard random model of a constant-doubling-dimension network
+    (e.g. wireless/sensor deployments). *)
+
+(** [knn ~n ~k ~seed] samples [n] points uniformly in the unit square and
+    connects each to its [k] nearest neighbors (undirected union). If the
+    result is disconnected, the closest pair of nodes across components is
+    linked repeatedly until connected, so the output always has [n] nodes.
+    Raises [Invalid_argument] unless [1 <= k < n]. *)
+val knn : n:int -> k:int -> seed:int -> Cr_metric.Graph.t
+
+(** [clustered ~clusters ~per_cluster ~spread ~k ~seed] samples cluster
+    centers uniformly and points normally (Box-Muller) around them with
+    standard deviation [spread], then connects with [knn]'s rule. Clustered
+    inputs exercise the dense/sparse imbalance the ball-packing hierarchy is
+    designed for. *)
+val clustered :
+  clusters:int -> per_cluster:int -> spread:float -> k:int -> seed:int ->
+  Cr_metric.Graph.t

@@ -1,0 +1,13 @@
+module Graph = Cr_metric.Graph
+
+let cube ~dim =
+  if dim < 1 || dim > 20 then invalid_arg "Hypercube.cube: dim out of range";
+  let n = 1 lsl dim in
+  let g = Graph.create n in
+  for v = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      let u = v lxor (1 lsl b) in
+      if v < u then Graph.add_edge g v u 1.0
+    done
+  done;
+  g

@@ -1,0 +1,9 @@
+(** Boolean hypercubes. The d-cube has doubling dimension Theta(d), so it is
+    deliberately *not* a low-doubling network: the harness uses it as the
+    contrast family on which the schemes' (1/eps)^(O(alpha)) factors blow
+    up, matching the paper's restriction alpha = O(log log n). *)
+
+(** [cube ~dim] is the [2^dim]-node hypercube with unit edges;
+    ids are the bit patterns. Raises [Invalid_argument] unless
+    [1 <= dim <= 20]. *)
+val cube : dim:int -> Cr_metric.Graph.t

@@ -1,0 +1,37 @@
+module Graph = Cr_metric.Graph
+
+let ring ~n =
+  if n < 3 then invalid_arg "Path_like.ring: n must be >= 3";
+  let g = Graph.create n in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1) 1.0
+  done;
+  Graph.add_edge g (n - 1) 0 1.0;
+  g
+
+let path ~n =
+  if n < 2 then invalid_arg "Path_like.path: n must be >= 2";
+  let g = Graph.create n in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1) 1.0
+  done;
+  g
+
+let exponential_chain ~n ~base =
+  if n < 2 then invalid_arg "Path_like.exponential_chain: n must be >= 2";
+  if base < 1.0 then invalid_arg "Path_like.exponential_chain: base < 1";
+  let g = Graph.create n in
+  let w = ref 1.0 in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1) !w;
+    w := !w *. base
+  done;
+  g
+
+let star ~leaves =
+  if leaves < 1 then invalid_arg "Path_like.star: need at least one leaf";
+  let g = Graph.create (leaves + 1) in
+  for i = 1 to leaves do
+    Graph.add_edge g 0 i 1.0
+  done;
+  g

@@ -1,0 +1,20 @@
+(** One-dimensional networks: rings, paths, and exponential-weight chains.
+
+    The exponential chain has normalized diameter Delta = 2^(n-1) with only
+    n nodes, so any log-Delta-sized table is Theta(n) bits: it is the
+    workload that separates scale-free schemes (Theorems 1.1/1.2) from the
+    Delta-dependent ones (Theorem 1.4 / Lemma 3.1). *)
+
+(** [ring ~n] is the n-cycle with unit weights. *)
+val ring : n:int -> Cr_metric.Graph.t
+
+(** [path ~n] is the n-node path with unit weights. *)
+val path : n:int -> Cr_metric.Graph.t
+
+(** [exponential_chain ~n ~base] is the n-node path whose i-th edge has
+    weight [base^i]; [base > 1] makes Delta exponential in [n].
+    Raises [Invalid_argument] if [base < 1]. *)
+val exponential_chain : n:int -> base:float -> Cr_metric.Graph.t
+
+(** [star ~leaves] is a star with unit spokes. *)
+val star : leaves:int -> Cr_metric.Graph.t

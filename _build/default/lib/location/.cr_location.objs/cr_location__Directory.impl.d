@@ -1,0 +1,1 @@
+lib/location/directory.ml: Cr_core Cr_metric Cr_nets Cr_search Cr_sim Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/location/directory.mli: Cr_core Cr_nets Cr_sim

@@ -1,0 +1,1 @@
+lib/lowerbound/adversary.ml: Array Cr_graphgen Cr_sim

@@ -1,0 +1,1 @@
+lib/lowerbound/construction.ml: Array Cr_metric Float List

@@ -1,0 +1,1 @@
+lib/lowerbound/naming.ml: Array Float Fun Hashtbl List

@@ -1,0 +1,40 @@
+module Workload = Cr_sim.Workload
+module Rng = Cr_graphgen.Rng
+
+type result = {
+  naming : Workload.naming;
+  score : float;
+  evaluations : int;
+}
+
+let naming_of_array name_of =
+  let n = Array.length name_of in
+  let node_of = Array.make n (-1) in
+  Array.iteri (fun v name -> node_of.(name) <- v) name_of;
+  { Workload.name_of; node_of }
+
+let hill_climb ~measure ~n ~seed ~iterations =
+  if n < 2 then invalid_arg "Adversary.hill_climb: n must be >= 2";
+  if iterations < 0 then invalid_arg "Adversary.hill_climb: negative budget";
+  let rng = Rng.create seed in
+  let current = Rng.permutation rng n in
+  let best_score = ref (measure (naming_of_array (Array.copy current))) in
+  let evaluations = ref 1 in
+  for _ = 1 to iterations do
+    let i = Rng.int rng n in
+    let j = Rng.int rng n in
+    if i <> j then begin
+      let candidate = Array.copy current in
+      let tmp = candidate.(i) in
+      candidate.(i) <- candidate.(j);
+      candidate.(j) <- tmp;
+      incr evaluations;
+      let score = measure (naming_of_array (Array.copy candidate)) in
+      if score >= !best_score then begin
+        best_score := score;
+        Array.blit candidate 0 current 0 n
+      end
+    end
+  done;
+  { naming = naming_of_array current; score = !best_score;
+    evaluations = !evaluations }

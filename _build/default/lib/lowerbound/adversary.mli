@@ -1,0 +1,28 @@
+(** An empirical stand-in for the Corollary 5.7 adversary.
+
+    The lower-bound proof argues that for any compact scheme some naming
+    forces stretch 9 − eps; the counting argument is non-constructive, but
+    against a *concrete* scheme we can hunt for bad namings directly: a
+    simple swap hill-climb over the naming permutation, re-measuring the
+    scheme's worst-case stretch after each candidate swap. The bench
+    harness runs this against the Theorem 1.4 scheme on the Figure 3 graph
+    and reports how much higher the adversarially-optimized stretch is than
+    a random naming's. *)
+
+type result = {
+  naming : Cr_sim.Workload.naming;  (** the worst naming found *)
+  score : float;  (** measure of that naming *)
+  evaluations : int;  (** how many namings were measured *)
+}
+
+(** [hill_climb ~measure ~n ~seed ~iterations] starts from a seeded random
+    naming and repeatedly proposes a random transposition of two names,
+    keeping it iff [measure] does not decrease. [measure] is typically
+    "max stretch of the scheme rebuilt under this naming"; it is called
+    once per iteration plus once at the start. *)
+val hill_climb :
+  measure:(Cr_sim.Workload.naming -> float) ->
+  n:int ->
+  seed:int ->
+  iterations:int ->
+  result

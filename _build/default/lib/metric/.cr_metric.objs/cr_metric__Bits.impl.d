@@ -1,0 +1,1 @@
+lib/metric/bits.ml: Hashtbl List String

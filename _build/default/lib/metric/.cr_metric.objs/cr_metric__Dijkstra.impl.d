@@ -1,0 +1,1 @@
+lib/metric/dijkstra.ml: Array Float Graph List Priority_queue

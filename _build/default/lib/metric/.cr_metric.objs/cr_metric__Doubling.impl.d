@@ -1,0 +1,1 @@
+lib/metric/doubling.ml: Array Hashtbl Int64 List Metric

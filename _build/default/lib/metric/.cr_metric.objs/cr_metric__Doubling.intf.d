@@ -1,0 +1,1 @@
+lib/metric/doubling.mli: Metric

@@ -1,0 +1,1 @@
+lib/metric/graph.ml: Array Float Format Fun List

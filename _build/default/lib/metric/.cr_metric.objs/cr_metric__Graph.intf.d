@@ -1,0 +1,1 @@
+lib/metric/graph.mli: Format

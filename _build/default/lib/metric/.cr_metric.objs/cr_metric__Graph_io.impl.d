@@ -1,0 +1,1 @@
+lib/metric/graph_io.ml: Buffer Fun Graph List Printf String

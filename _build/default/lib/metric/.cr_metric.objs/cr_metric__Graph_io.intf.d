@@ -1,0 +1,1 @@
+lib/metric/graph_io.mli: Graph

@@ -1,0 +1,1 @@
+lib/metric/metric.ml: Array Dijkstra Float Fun Graph List

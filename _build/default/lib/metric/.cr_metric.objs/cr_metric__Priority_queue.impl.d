@@ -1,0 +1,1 @@
+lib/metric/priority_queue.ml: Array

@@ -1,0 +1,23 @@
+let ceil_log2 k =
+  if k <= 0 then invalid_arg "Bits.ceil_log2: nonpositive";
+  let rec go b pow = if pow >= k then b else go (b + 1) (2 * pow) in
+  go 0 1
+
+let id_bits n = ceil_log2 n
+let range_bits n = 2 * id_bits n
+let distance_bits = 32
+
+type tally = (string, int ref) Hashtbl.t
+
+let create_tally () : tally = Hashtbl.create 8
+
+let add tally ~component bits =
+  match Hashtbl.find_opt tally component with
+  | Some r -> r := !r + bits
+  | None -> Hashtbl.replace tally component (ref bits)
+
+let total tally = Hashtbl.fold (fun _ r acc -> acc + !r) tally 0
+
+let components tally =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tally []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,35 @@
+(** Single-source shortest paths on weighted graphs.
+
+    Classic Dijkstra with a binary heap. Distances are exact shortest-path
+    lengths; predecessors reconstruct one shortest path per destination,
+    with deterministic tie-breaking (smallest predecessor id wins), so every
+    run over the same graph yields the same shortest-path forest. *)
+
+type result = {
+  dist : float array;  (** [dist.(v)] = d(source, v); [infinity] if unreachable *)
+  pred : int array;  (** [pred.(v)] = predecessor of [v] on a shortest path; -1 at the source and for unreachable nodes *)
+}
+
+(** [run g s] computes shortest paths from source [s]. *)
+val run : Graph.t -> int -> result
+
+(** [path r v] is the node sequence from the source to [v] (inclusive),
+    reconstructed through [r.pred]. Raises [Invalid_argument] if [v] is
+    unreachable. *)
+val path : result -> int -> int list
+
+(** [next_hop_toward r v] is, for a result computed from source [s], the
+    first node after [s] on the shortest path to [v] ([v] itself if [v] is a
+    neighbor on the path; raises [Invalid_argument] if [v] is the source or
+    unreachable). *)
+val next_hop_toward : result -> int -> int
+
+(** [multi_source g sources] runs Dijkstra from a set of virtual sources
+    simultaneously. Returns per-node distance to the nearest source, the
+    nearest source itself ([owner]), and the predecessor on a shortest path
+    from that source. Ownership ties are broken lexicographically by
+    (distance, source id), making Voronoi cells prefix-closed: every node on
+    the tree path from an owner to a node it owns is owned by the same
+    source. *)
+val multi_source :
+  Graph.t -> int list -> float array * int array * int array

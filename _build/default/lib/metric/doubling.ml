@@ -1,0 +1,60 @@
+let greedy_half_cover m ~center ~radius =
+  let members = Metric.ball m ~center ~radius in
+  let half = radius /. 2.0 in
+  let covered = Hashtbl.create 16 in
+  let count = ref 0 in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem covered v) then begin
+        incr count;
+        List.iter
+          (fun x ->
+            if Metric.dist m v x <= half then Hashtbl.replace covered x ())
+          members
+      end)
+    members;
+  !count
+
+let log2 x = log x /. log 2.0
+
+let radii m =
+  let delta = Metric.normalized_diameter m in
+  let rec go r acc = if r > 2.0 *. delta then acc else go (2.0 *. r) (r :: acc) in
+  go (Metric.min_distance m) []
+
+let estimate m =
+  let worst = ref 1 in
+  let rs = radii m in
+  for center = 0 to Metric.n m - 1 do
+    List.iter
+      (fun radius ->
+        let c = greedy_half_cover m ~center ~radius in
+        if c > !worst then worst := c)
+      rs
+  done;
+  log2 (float_of_int !worst)
+
+(* A self-contained splitmix64 step; Graphgen has the full-featured PRNG but
+   Metric must not depend on it. *)
+let splitmix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let estimate_sampled m ~samples ~seed =
+  let state = ref (Int64.of_int (seed + 1)) in
+  let rand_below k =
+    Int64.to_int (Int64.rem (Int64.logand (splitmix state) Int64.max_int)
+                    (Int64.of_int k))
+  in
+  let rs = Array.of_list (radii m) in
+  let worst = ref 1 in
+  for _ = 1 to samples do
+    let center = rand_below (Metric.n m) in
+    let radius = rs.(rand_below (Array.length rs)) in
+    let c = greedy_half_cover m ~center ~radius in
+    if c > !worst then worst := c
+  done;
+  log2 (float_of_int !worst)

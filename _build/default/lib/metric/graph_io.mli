@@ -1,0 +1,18 @@
+(** Reading and writing graphs as plain edge-list text.
+
+    Format: '#'-prefixed comment lines; the first data line is the node
+    count; every other data line is "u v w" (an undirected edge). This is
+    the interchange format the CLI's "file:PATH" family uses, so real
+    topologies can be fed to the schemes. *)
+
+(** [to_string g] serializes a graph. *)
+val to_string : Graph.t -> string
+
+(** [of_string s] parses a graph. Raises [Invalid_argument] with a
+    line-numbered message on malformed input. *)
+val of_string : string -> Graph.t
+
+(** [save g path] / [load path] do the same through files. *)
+val save : Graph.t -> string -> unit
+
+val load : string -> Graph.t

@@ -1,0 +1,114 @@
+type t = {
+  graph : Graph.t;
+  n : int;
+  dist : float array;  (* row-major n*n distance matrix *)
+  sorted_rows : float array array;  (* per-node distances, ascending *)
+  sssp : Dijkstra.result array;  (* canonical shortest-path forest per source *)
+  min_distance : float;
+  diameter : float;
+}
+
+let d m u v = m.dist.((u * m.n) + v)
+
+let build graph =
+  let n = Graph.n graph in
+  if n < 2 then invalid_arg "Metric.of_graph: need at least 2 nodes";
+  if not (Graph.is_connected graph) then
+    invalid_arg "Metric.of_graph: graph must be connected";
+  let dist = Array.make (n * n) infinity in
+  let sssp = Array.init n (fun s -> Dijkstra.run graph s) in
+  for s = 0 to n - 1 do
+    Array.blit sssp.(s).dist 0 dist (s * n) n
+  done;
+  (* Per-source Dijkstra runs can round the same path sum differently;
+     force exact symmetry by keeping the smaller value of each pair. *)
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let x = Float.min dist.((u * n) + v) dist.((v * n) + u) in
+      dist.((u * n) + v) <- x;
+      dist.((v * n) + u) <- x
+    done
+  done;
+  let min_distance = ref infinity and diameter = ref 0.0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let x = dist.((u * n) + v) in
+      if x < !min_distance then min_distance := x;
+      if x > !diameter then diameter := x
+    done
+  done;
+  let sorted_rows =
+    Array.init n (fun u ->
+        let row = Array.sub dist (u * n) n in
+        Array.sort compare row;
+        row)
+  in
+  { graph; n; dist; sorted_rows; sssp;
+    min_distance = !min_distance; diameter = !diameter }
+
+let of_graph_unnormalized graph = build graph
+
+let of_graph graph =
+  let m = build graph in
+  if m.min_distance = 1.0 then m
+  else build (Graph.scale graph (1.0 /. m.min_distance))
+
+let graph m = m.graph
+let n m = m.n
+let dist m u v = d m u v
+let diameter m = m.diameter
+let min_distance m = m.min_distance
+let normalized_diameter m = m.diameter /. m.min_distance
+
+let levels m =
+  let delta = normalized_diameter m in
+  let rec go i cover = if cover >= delta then i else go (i + 1) (2.0 *. cover) in
+  go 0 1.0
+
+let ball m ~center ~radius =
+  let acc = ref [] in
+  for v = m.n - 1 downto 0 do
+    if d m center v <= radius then acc := v :: !acc
+  done;
+  !acc
+
+let ball_size m ~center ~radius =
+  let count = ref 0 in
+  for v = 0 to m.n - 1 do
+    if d m center v <= radius then incr count
+  done;
+  !count
+
+let radius_of_size m u size =
+  if size < 1 || size > m.n then
+    invalid_arg "Metric.radius_of_size: size out of range";
+  (* sorted_rows.(u).(k) is the distance to u's (k+1)-th closest node
+     (including u itself at index 0), so r_u for a ball of [size] nodes is
+     the entry at index size-1. *)
+  m.sorted_rows.(u).(size - 1)
+
+let nearest_k m u k =
+  if k < 1 || k > m.n then invalid_arg "Metric.nearest_k: k out of range";
+  let order = Array.init m.n Fun.id in
+  Array.sort
+    (fun a b ->
+      let da = d m u a and db = d m u b in
+      if da <> db then compare da db else compare a b)
+    order;
+  Array.to_list (Array.sub order 0 k)
+
+let nearest_in m u candidates =
+  match candidates with
+  | [] -> invalid_arg "Metric.nearest_in: empty candidate list"
+  | first :: rest ->
+    List.fold_left
+      (fun best v ->
+        let dv = d m u v and db = d m u best in
+        if dv < db || (dv = db && v < best) then v else best)
+      first rest
+
+let next_hop m ~src ~dst =
+  if src = dst then invalid_arg "Metric.next_hop: src = dst";
+  Dijkstra.next_hop_toward m.sssp.(src) dst
+
+let shortest_path m ~src ~dst = Dijkstra.path m.sssp.(src) dst

@@ -1,0 +1,75 @@
+type t = {
+  mutable prio : float array;
+  mutable elt : int array;
+  mutable size : int;
+}
+
+let initial_capacity = 16
+
+let create () =
+  { prio = Array.make initial_capacity 0.0;
+    elt = Array.make initial_capacity 0;
+    size = 0 }
+
+let is_empty h = h.size = 0
+let length h = h.size
+
+let grow h =
+  let capacity = Array.length h.prio in
+  let prio = Array.make (2 * capacity) 0.0 in
+  let elt = Array.make (2 * capacity) 0 in
+  Array.blit h.prio 0 prio 0 h.size;
+  Array.blit h.elt 0 elt 0 h.size;
+  h.prio <- prio;
+  h.elt <- elt
+
+(* [less h i j] orders pairs by (priority, element) lexicographically so that
+   extraction order is deterministic even with equal priorities. *)
+let less h i j =
+  h.prio.(i) < h.prio.(j)
+  || (h.prio.(i) = h.prio.(j) && h.elt.(i) < h.elt.(j))
+
+let swap h i j =
+  let p = h.prio.(i) and e = h.elt.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.elt.(i) <- h.elt.(j);
+  h.prio.(j) <- p;
+  h.elt.(j) <- e
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h i parent then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < h.size && less h left !smallest then smallest := left;
+  if right < h.size && less h right !smallest then smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~priority x =
+  if h.size = Array.length h.prio then grow h;
+  h.prio.(h.size) <- priority;
+  h.elt.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let p = h.prio.(0) and e = h.elt.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.prio.(0) <- h.prio.(h.size);
+    h.elt.(0) <- h.elt.(h.size);
+    sift_down h 0
+  end;
+  (p, e)

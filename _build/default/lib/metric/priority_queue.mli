@@ -1,0 +1,24 @@
+(** Binary min-heap keyed by floats, used by Dijkstra.
+
+    The heap stores [(priority, element)] pairs and supports insertion and
+    extraction of the minimum-priority element. Duplicate insertions of the
+    same element with different priorities are allowed (lazy-deletion style):
+    callers are expected to discard stale extractions. *)
+
+type t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> t
+
+(** [is_empty h] is true iff [h] holds no pairs. *)
+val is_empty : t -> bool
+
+(** [length h] is the number of stored pairs (including stale duplicates). *)
+val length : t -> int
+
+(** [push h ~priority x] inserts element [x] with priority [priority]. *)
+val push : t -> priority:float -> int -> unit
+
+(** [pop_min h] removes and returns the pair with least priority.
+    Ties are broken by least element. Raises [Not_found] on an empty heap. *)
+val pop_min : t -> float * int

@@ -1,0 +1,1 @@
+lib/nets/hierarchy.ml: Array Cr_metric Float Fun List Rnet

@@ -1,0 +1,1 @@
+lib/nets/hierarchy.mli: Cr_metric

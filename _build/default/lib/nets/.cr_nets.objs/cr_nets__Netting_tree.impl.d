@@ -1,0 +1,1 @@
+lib/nets/netting_tree.ml: Array Cr_metric Hierarchy List

@@ -1,0 +1,1 @@
+lib/nets/netting_tree.mli: Hierarchy

@@ -1,0 +1,1 @@
+lib/nets/rnet.ml: Cr_metric List

@@ -1,0 +1,1 @@
+lib/nets/rnet.mli: Cr_metric

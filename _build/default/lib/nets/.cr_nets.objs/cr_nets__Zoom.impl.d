@@ -1,0 +1,1 @@
+lib/nets/zoom.ml: Array Cr_metric Hierarchy

@@ -1,0 +1,1 @@
+lib/nets/zoom.mli: Hierarchy

@@ -1,0 +1,42 @@
+(** The netting tree T({Y_i}) and its DFS leaf enumeration (Sections 2, 4.1).
+
+    Tree vertices are pairs (x, i) with x in Y_i; the parent of (x, i) is
+    (x', i+1) where x' is the node of Y_(i+1) nearest to x — exactly the
+    next step of x's zooming sequence, so every node's zooming sequence is
+    the leaf-to-root path from (u, 0).
+
+    The label function l : V -> [n) enumerates the leaves in DFS order
+    (children visited in increasing id order). Range(x, i) is the contiguous
+    interval of leaf labels in the subtree of (x, i); the key property
+    (Section 4.1) is: l(u) in Range(x, i) iff x = u(i). *)
+
+type t
+
+type range = { lo : int; hi : int }
+
+(** [build h] assembles the tree, labels, and ranges for hierarchy [h]. *)
+val build : Hierarchy.t -> t
+
+(** [hierarchy t] is the underlying net hierarchy. *)
+val hierarchy : t -> Hierarchy.t
+
+(** [label t v] is l(v), the DFS index of leaf (v, 0). *)
+val label : t -> int -> int
+
+(** [node_of_label t l] inverts [label]. *)
+val node_of_label : t -> int -> int
+
+(** [range t ~level x] is Range(x, level). Raises [Invalid_argument] if
+    [x] is not in Y_level. *)
+val range : t -> level:int -> int -> range
+
+(** [in_range r l] is true iff [r.lo <= l <= r.hi]. *)
+val in_range : range -> int -> bool
+
+(** [parent t ~level x] is the parent net point of (x, level) at
+    [level + 1]. Raises [Invalid_argument] at the top level. *)
+val parent : t -> level:int -> int -> int
+
+(** [children t ~level x] is the list of child net points of (x, level) at
+    [level - 1], increasing ids. *)
+val children : t -> level:int -> int -> int list

@@ -1,0 +1,1 @@
+lib/packing/ball_packing.ml: Array Cr_metric Fun List

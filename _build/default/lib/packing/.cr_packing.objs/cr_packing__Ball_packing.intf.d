@@ -1,0 +1,1 @@
+lib/packing/ball_packing.mli: Cr_metric

@@ -1,0 +1,1 @@
+lib/packing/voronoi.ml: Array Cr_metric List

@@ -1,0 +1,1 @@
+lib/packing/voronoi.mli: Cr_metric

@@ -1,0 +1,1 @@
+lib/proto/dist_hierarchy.ml: Array Cr_metric Float Fun List Net_election Network

@@ -1,0 +1,1 @@
+lib/proto/dist_hierarchy.mli: Cr_metric

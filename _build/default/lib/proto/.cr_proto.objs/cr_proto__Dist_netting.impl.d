@@ -1,0 +1,1 @@
+lib/proto/dist_netting.ml: Array Cr_metric Dist_hierarchy Float Hashtbl List Network

@@ -1,0 +1,1 @@
+lib/proto/dist_netting.mli: Cr_metric Network

@@ -1,0 +1,1 @@
+lib/proto/dist_packing.ml: Array Cr_metric Dist_radii Hashtbl List Network Printf String

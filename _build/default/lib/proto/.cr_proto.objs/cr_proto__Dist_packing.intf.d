@@ -1,0 +1,1 @@
+lib/proto/dist_packing.mli: Cr_metric Network

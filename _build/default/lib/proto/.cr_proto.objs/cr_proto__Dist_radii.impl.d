@@ -1,0 +1,1 @@
+lib/proto/dist_radii.ml: Array Cr_metric Network

@@ -1,0 +1,1 @@
+lib/proto/dist_radii.mli: Cr_metric Network

@@ -1,0 +1,1 @@
+lib/proto/dist_spt.ml: Array Cr_metric Network

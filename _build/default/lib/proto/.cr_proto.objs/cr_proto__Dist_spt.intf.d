@@ -1,0 +1,1 @@
+lib/proto/dist_spt.mli: Cr_metric Network

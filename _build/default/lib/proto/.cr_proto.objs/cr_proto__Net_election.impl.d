@@ -1,0 +1,1 @@
+lib/proto/net_election.ml: Array Cr_metric Hashtbl List Network Option

@@ -1,0 +1,1 @@
+lib/proto/net_election.mli: Cr_metric Network

@@ -1,0 +1,1 @@
+lib/proto/network.ml: Array Cr_metric Float Int64 Option Pqueue

@@ -1,0 +1,1 @@
+lib/proto/network.mli: Cr_metric

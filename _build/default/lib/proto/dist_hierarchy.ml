@@ -1,0 +1,45 @@
+module Metric = Cr_metric.Metric
+
+type level_cost = {
+  level : int;
+  members : int;
+  messages : int;
+  makespan : float;
+}
+
+type result = {
+  nets : int list array;
+  costs : level_cost list;
+  total_messages : int;
+}
+
+let build m =
+  let g = Metric.graph m in
+  let n = Metric.n m in
+  let top = Metric.levels m in
+  let nets = Array.make (top + 1) [] in
+  nets.(top) <- [ 0 ];
+  let costs = ref [] in
+  let total = ref 0 in
+  for i = top - 1 downto 1 do
+    let r = Float.pow 2.0 (float_of_int i) in
+    let election = Net_election.run g ~r ~seeds:nets.(i + 1) in
+    nets.(i) <- election.Net_election.net;
+    let messages =
+      election.Net_election.discovery.Network.messages
+      + election.Net_election.election.Network.messages
+    in
+    total := !total + messages;
+    costs :=
+      { level = i;
+        members = List.length nets.(i);
+        messages;
+        makespan =
+          Float.max election.Net_election.discovery.Network.makespan
+            election.Net_election.election.Network.makespan }
+      :: !costs
+  done;
+  (* Level 0 is all of V by definition (Section 2 normalizes the minimum
+     distance to 1 = 2^0, so every node is a member); no election needed. *)
+  nets.(0) <- List.init n Fun.id;
+  { nets; costs = List.rev !costs; total_messages = !total }

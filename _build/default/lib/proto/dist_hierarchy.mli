@@ -1,0 +1,26 @@
+(** Fully distributed construction of the 2^i-net hierarchy of Section 2.
+
+    Levels are elected top-down: the top net is the singleton {0} (the
+    minimum id, which a trivial min-flood would elect; we fix it by
+    convention), and each level i's r-net election is seeded with level
+    i+1's members — exactly mirroring the centralized greedy construction,
+    so the result provably *equals* [Cr_nets.Hierarchy.build]'s nets (the
+    test suite asserts this). The per-level message counts cost out the
+    hierarchy preprocessing in the asynchronous message-passing model. *)
+
+type level_cost = {
+  level : int;
+  members : int;
+  messages : int;
+  makespan : float;
+}
+
+type result = {
+  nets : int list array;  (** nets.(i) = Y_i, ascending ids *)
+  costs : level_cost list;  (** per elected level, topmost first *)
+  total_messages : int;
+}
+
+(** [build m] runs the elections over the metric's graph; levels and radii
+    match [Cr_nets.Hierarchy.build m]. *)
+val build : Cr_metric.Metric.t -> result

@@ -1,0 +1,82 @@
+module Graph = Cr_metric.Graph
+module Metric = Cr_metric.Metric
+
+type announce = Announce of { origin : int; traveled : float }
+
+type best = {
+  mutable choice : (float * int) option;  (* (distance, id), lexicographic *)
+  seen : (int, float) Hashtbl.t;  (* flood dedup *)
+}
+
+type result = {
+  parent : int array;
+  stats : Network.stats;
+}
+
+let parents_for_level ?max_messages ?jitter m ~members ~upper ~radius =
+  let g = Metric.graph m in
+  let n = Metric.n m in
+  let max_messages =
+    match max_messages with
+    | Some mm -> mm
+    | None -> 1000 + (200 * n * n)
+  in
+  let net =
+    Network.create ?jitter g ~init:(fun _ ->
+        { choice = None; seen = Hashtbl.create 8 })
+  in
+  let handler (actions : announce Network.actions) ~self state
+      (Announce { origin; traveled }) =
+    let stale =
+      match Hashtbl.find_opt state.seen origin with
+      | Some d -> traveled >= d
+      | None -> false
+    in
+    if (not stale) && traveled <= radius then begin
+      Hashtbl.replace state.seen origin traveled;
+      let better =
+        match state.choice with
+        | None -> true
+        | Some (d, id) -> traveled < d || (traveled = d && origin < id)
+      in
+      if better then state.choice <- Some (traveled, origin);
+      Graph.iter_neighbors g self (fun v w ->
+          if traveled +. w <= radius then
+            actions.Network.send v
+              (Announce { origin; traveled = traveled +. w }))
+    end;
+    state
+  in
+  List.iter
+    (fun u -> Network.inject net ~dst:u (Announce { origin = u; traveled = 0.0 }))
+    upper;
+  let stats = Network.run net ~handler ~max_messages in
+  let parent = Array.make n (-1) in
+  List.iter
+    (fun x ->
+      match (Network.state net x).choice with
+      | Some (_, id) -> parent.(x) <- id
+      | None -> failwith "Dist_netting: covering bound violated")
+    members;
+  { parent; stats }
+
+let all_parents m =
+  let hierarchy = Dist_hierarchy.build m in
+  let top = Array.length hierarchy.Dist_hierarchy.nets - 1 in
+  let messages = ref 0 in
+  let makespan = ref 0.0 in
+  let parents =
+    Array.init (top + 1) (fun i ->
+        if i >= top then Array.make (Metric.n m) (-1)
+        else begin
+          let r = parents_for_level m
+              ~members:hierarchy.Dist_hierarchy.nets.(i)
+              ~upper:hierarchy.Dist_hierarchy.nets.(i + 1)
+              ~radius:(Float.pow 2.0 (float_of_int (i + 1)))
+          in
+          messages := !messages + r.stats.Network.messages;
+          makespan := Float.max !makespan r.stats.Network.makespan;
+          r.parent
+        end)
+  in
+  (parents, { Network.messages = !messages; makespan = !makespan })

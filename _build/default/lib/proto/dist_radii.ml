@@ -1,0 +1,40 @@
+module Graph = Cr_metric.Graph
+
+type msg = Hello of { origin : int; traveled : float }
+
+type result = {
+  distances : float array array;
+  stats : Network.stats;
+}
+
+let run ?max_messages ?jitter g =
+  let n = Graph.n g in
+  let max_messages =
+    match max_messages with
+    | Some m -> m
+    | None -> 1000 + (400 * n * n)
+  in
+  (* all entries start at infinity — including the node's own, so that the
+     kick-off self-message passes the relaxation guard and floods out *)
+  let net = Network.create ?jitter g ~init:(fun _ -> Array.make n infinity) in
+  let handler (actions : msg Network.actions) ~self dist
+      (Hello { origin; traveled }) =
+    if traveled < dist.(origin) then begin
+      dist.(origin) <- traveled;
+      Graph.iter_neighbors g self (fun v w ->
+          actions.Network.send v (Hello { origin; traveled = traveled +. w }))
+    end;
+    dist
+  in
+  for v = 0 to n - 1 do
+    Network.inject net ~dst:v (Hello { origin = v; traveled = 0.0 })
+  done;
+  let stats = Network.run net ~handler ~max_messages in
+  { distances = Array.init n (fun v -> Network.state net v); stats }
+
+let radius_of_size distances u size =
+  let row = Array.copy distances.(u) in
+  Array.sort compare row;
+  if size < 1 || size > Array.length row then
+    invalid_arg "Dist_radii.radius_of_size: size out of range";
+  row.(size - 1)

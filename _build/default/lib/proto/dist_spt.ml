@@ -1,0 +1,52 @@
+module Graph = Cr_metric.Graph
+
+type node_state = {
+  best : float;
+  via : int;
+}
+
+(* Offer (d, from): "you can reach the root at cost d via me". *)
+type msg = Offer of float * int
+
+type result = {
+  dist : float array;
+  pred : int array;
+  stats : Network.stats;
+}
+
+let run ?max_messages ?jitter g ~root =
+  let n = Graph.n g in
+  let max_messages =
+    match max_messages with
+    | Some m -> m
+    | None -> 1000 + (100 * n * n)
+  in
+  let net =
+    Network.create ?jitter g ~init:(fun v ->
+        if v = root then { best = 0.0; via = -1 }
+        else { best = infinity; via = -1 })
+  in
+  let announce (actions : msg Network.actions) self d =
+    Graph.iter_neighbors g self (fun v w ->
+        actions.Network.send v (Offer (d +. w, self)))
+  in
+  let improve actions ~self state = function
+    | Offer (d, from) ->
+      if d < state.best then begin
+        announce actions self d;
+        { best = d; via = from }
+      end
+      else state
+  in
+  (* Kick off: the root offers itself distance 0 (self-delivered). *)
+  Network.inject net ~dst:root (Offer (0.0, -1));
+  let handler actions ~self state = function
+    | Offer (0.0, -1) when self = root ->
+      announce actions self 0.0;
+      state
+    | msg -> improve actions ~self state msg
+  in
+  let stats = Network.run net ~handler ~max_messages in
+  { dist = Array.init n (fun v -> (Network.state net v).best);
+    pred = Array.init n (fun v -> (Network.state net v).via);
+    stats }

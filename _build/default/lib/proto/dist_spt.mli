@@ -1,0 +1,22 @@
+(** Distributed shortest-path-tree construction (asynchronous
+    Bellman-Ford).
+
+    The root announces distance 0; every node keeps its best-known distance
+    and predecessor and re-announces on improvement. With positive weights
+    the protocol quiesces with exact shortest-path distances — this is the
+    distributed counterpart of the centralized Dijkstra pass the schemes'
+    preprocessing uses to build Voronoi trees and next-hop tables, and the
+    message counts reported here cost out that preprocessing in the
+    asynchronous message-passing model. *)
+
+type result = {
+  dist : float array;
+  pred : int array;  (** -1 at the root *)
+  stats : Network.stats;
+}
+
+(** [run g ~root] executes the protocol to quiescence.
+    [max_messages] defaults to a generous polynomial budget. *)
+val run :
+  ?max_messages:int -> ?jitter:int * float -> Cr_metric.Graph.t -> root:int ->
+  result

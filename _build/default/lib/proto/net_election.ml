@@ -1,0 +1,194 @@
+module Graph = Cr_metric.Graph
+
+type status =
+  | In
+  | Out
+
+type result = {
+  net : int list;
+  status : status array;
+  nearest_in : (int * float) option array;
+  discovery : Network.stats;
+  election : Network.stats;
+}
+
+(* Phase 1: budgeted flooding of ids (with a seed flag). State: best known
+   distance and seed-ness per origin (strictly within r). *)
+type hello = Hello of { origin : int; seed : bool; traveled : float }
+
+let discovery_phase g ~r ~is_seed ~jitter ~max_messages =
+  let net =
+    Network.create ?jitter g
+      ~init:(fun _ : (int, bool * float) Hashtbl.t -> Hashtbl.create 8)
+  in
+  let handler (actions : hello Network.actions) ~self known
+      (Hello { origin; seed; traveled }) =
+    let best = Hashtbl.find_opt known origin in
+    if
+      traveled < r
+      && (match best with None -> true | Some (_, d) -> traveled < d)
+    then begin
+      Hashtbl.replace known origin (seed, traveled);
+      Graph.iter_neighbors g self (fun v w ->
+          if traveled +. w < r then
+            actions.Network.send v
+              (Hello { origin; seed; traveled = traveled +. w }))
+    end;
+    known
+  in
+  for v = 0 to Graph.n g - 1 do
+    Network.inject net ~dst:v
+      (Hello { origin = v; seed = is_seed v; traveled = 0.0 })
+  done;
+  let stats = Network.run net ~handler ~max_messages in
+  let known =
+    Array.init (Graph.n g) (fun v ->
+        let tbl = Network.state net v in
+        Hashtbl.remove tbl v;  (* self-knowledge is implicit *)
+        tbl)
+  in
+  (known, stats)
+
+(* Phase 2: decisions flood within the same radius. *)
+type verdict =
+  | V_in
+  | V_out
+
+type decision =
+  | Check
+  | Decision of { origin : int; verdict : verdict; traveled : float }
+
+type node_state = {
+  mutable status : status option;
+  heard : (int, verdict * float) Hashtbl.t;  (* decisions, best distance *)
+  seen : (int, float) Hashtbl.t;  (* flood dedup: best traveled per origin *)
+}
+
+let election_phase g ~r ~known ~is_seed ~jitter ~max_messages =
+  let n = Graph.n g in
+  let net =
+    Network.create ?jitter g ~init:(fun _ ->
+        { status = None; heard = Hashtbl.create 8; seen = Hashtbl.create 8 })
+  in
+  (* Seeds are already members: a non-seed must wait only for non-seed
+     smaller ids (seeds block it outright, at any id). *)
+  let smaller_in_range self =
+    Hashtbl.fold
+      (fun o (seed, _) acc ->
+        if (not seed) && o < self then o :: acc else acc)
+      known.(self) []
+  in
+  let seed_in_range self =
+    Hashtbl.fold
+      (fun _ (seed, _) acc -> acc || seed)
+      known.(self) false
+  in
+  let flood_own (actions : decision Network.actions) self verdict =
+    Graph.iter_neighbors g self (fun v w ->
+        if w < r then
+          actions.Network.send v
+            (Decision { origin = self; verdict; traveled = w }))
+  in
+  let try_decide actions self state =
+    if state.status = None then begin
+      if is_seed self then begin
+        state.status <- Some In;
+        flood_own actions self V_in
+      end
+      else begin
+        let blocked =
+          seed_in_range self
+          || Hashtbl.fold
+               (fun _ (verdict, _) acc -> acc || verdict = V_in)
+               state.heard false
+        in
+        if blocked then begin
+          state.status <- Some Out;
+          flood_own actions self V_out
+        end
+        else begin
+          let pending =
+            List.filter
+              (fun o -> not (Hashtbl.mem state.heard o))
+              (smaller_in_range self)
+          in
+          if pending = [] then begin
+            state.status <- Some In;
+            flood_own actions self V_in
+          end
+        end
+      end
+    end
+  in
+  let handler (actions : decision Network.actions) ~self state = function
+    | Check ->
+      try_decide actions self state;
+      state
+    | Decision { origin; verdict; traveled } ->
+      let best = Hashtbl.find_opt state.seen origin in
+      if traveled < r && (best = None || traveled < Option.get best) then begin
+        Hashtbl.replace state.seen origin traveled;
+        (match Hashtbl.find_opt state.heard origin with
+        | Some (_, d) when d <= traveled -> ()
+        | _ -> Hashtbl.replace state.heard origin (verdict, traveled));
+        Graph.iter_neighbors g self (fun v w ->
+            if traveled +. w < r then
+              actions.Network.send v
+                (Decision { origin; verdict; traveled = traveled +. w }))
+      end;
+      try_decide actions self state;
+      state
+  in
+  for v = 0 to n - 1 do
+    Network.inject net ~dst:v Check
+  done;
+  let stats = Network.run net ~handler ~max_messages in
+  (Array.init n (fun v -> Network.state net v), stats)
+
+let run ?max_messages ?jitter ?(seeds = []) g ~r =
+  if r <= 0.0 then invalid_arg "Net_election.run: r must be positive";
+  let n = Graph.n g in
+  let max_messages =
+    match max_messages with
+    | Some m -> m
+    | None -> 1000 + (200 * n * n)
+  in
+  let seed_flags = Array.make n false in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Net_election.run: seed out of range";
+      seed_flags.(s) <- true)
+    seeds;
+  let is_seed v = seed_flags.(v) in
+  let known, discovery = discovery_phase g ~r ~is_seed ~jitter ~max_messages in
+  let states, election =
+    election_phase g ~r ~known ~is_seed ~jitter ~max_messages
+  in
+  let status =
+    Array.map
+      (fun s ->
+        match s.status with
+        | Some st -> st
+        | None -> failwith "Net_election.run: protocol did not quiesce")
+      states
+  in
+  let net_members = ref [] in
+  for v = n - 1 downto 0 do
+    if status.(v) = In then net_members := v :: !net_members
+  done;
+  let nearest_in =
+    Array.mapi
+      (fun v s ->
+        if status.(v) = In then Some (v, 0.0)
+        else
+          Hashtbl.fold
+            (fun o (verdict, d) acc ->
+              if verdict = V_in then
+                match acc with
+                | Some (_, best) when best <= d -> acc
+                | _ -> Some (o, d)
+              else acc)
+            s.heard None)
+      states
+  in
+  { net = !net_members; status; nearest_in; discovery; election }

@@ -1,0 +1,87 @@
+module Graph = Cr_metric.Graph
+
+type 'msg envelope = {
+  dst : int;
+  payload : 'msg;
+}
+
+type ('msg, 'state) t = {
+  graph : Graph.t;
+  states : 'state array;
+  queue : 'msg envelope Pqueue.t;
+  jitter : (int64 ref * float) option;
+  mutable seq : int;
+  mutable now : float;
+  mutable messages : int;
+  mutable makespan : float;
+}
+
+type 'msg actions = {
+  now : float;
+  send : int -> 'msg -> unit;
+}
+
+type stats = {
+  messages : int;
+  makespan : float;
+}
+
+(* splitmix64 step for the jitter stream (self-contained, deterministic) *)
+let splitmix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ?jitter graph ~init =
+  { graph;
+    states = Array.init (Graph.n graph) init;
+    queue = Pqueue.create ();
+    jitter =
+      Option.map
+        (fun (seed, magnitude) ->
+          if magnitude < 0.0 then
+            invalid_arg "Network.create: negative jitter magnitude";
+          (ref (Int64.of_int (seed + 1)), magnitude))
+        jitter;
+    seq = 0;
+    now = 0.0;
+    messages = 0;
+    makespan = 0.0 }
+
+let perturb t delay =
+  match t.jitter with
+  | None -> delay
+  | Some (state, magnitude) ->
+    let u =
+      Int64.to_float (Int64.shift_right_logical (splitmix state) 11)
+      /. 9007199254740992.0
+    in
+    delay *. (1.0 +. (magnitude *. u))
+
+let state t v = t.states.(v)
+
+let enqueue t ~time ~dst payload =
+  Pqueue.push t.queue ~time ~seq:t.seq { dst; payload };
+  t.seq <- t.seq + 1
+
+let inject t ~dst msg = enqueue t ~time:t.now ~dst msg
+
+let run t ~handler ~max_messages =
+  while not (Pqueue.is_empty t.queue) do
+    let time, { dst; payload } = Pqueue.pop_min t.queue in
+    t.now <- time;
+    t.messages <- t.messages + 1;
+    t.makespan <- Float.max t.makespan time;
+    if t.messages > max_messages then
+      failwith "Network.run: message budget exhausted";
+    let send neighbor msg =
+      match Graph.edge_weight t.graph dst neighbor with
+      | None -> invalid_arg "Network.send: not a neighbor"
+      | Some w -> enqueue t ~time:(time +. perturb t w) ~dst:neighbor msg
+    in
+    t.states.(dst) <-
+      handler { now = time; send } ~self:dst t.states.(dst) payload
+  done;
+  { messages = t.messages; makespan = t.makespan }

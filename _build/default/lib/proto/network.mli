@@ -1,0 +1,55 @@
+(** An event-driven message-passing network simulator.
+
+    Nodes hold protocol state and react to messages; a message sent across
+    an edge is delivered after a delay equal to the edge weight (the
+    standard asynchronous CONGEST-style cost model in which the paper's
+    preprocessing would run). Delivery order is deterministic: by delivery
+    time, ties by send order.
+
+    The simulator is parametric in the protocol's message and state types;
+    concrete protocols (distributed shortest-path trees, distributed r-net
+    election) live in sibling modules. *)
+
+type ('msg, 'state) t
+
+(** What a handler may do: read the clock and send to direct neighbors. *)
+type 'msg actions = {
+  now : float;
+  send : int -> 'msg -> unit;
+      (** [send neighbor msg]; raises [Invalid_argument] if the target is
+          not adjacent to the handling node. *)
+}
+
+type stats = {
+  messages : int;  (** total messages delivered *)
+  makespan : float;  (** delivery time of the last message *)
+}
+
+(** [create g ~init] builds a quiescent network with per-node states.
+    [jitter = (seed, magnitude)] perturbs every delivery delay by a
+    deterministic pseudo-random factor in [1, 1 + magnitude): the
+    asynchronous model guarantees only eventual delivery, so protocol
+    *outcomes* must not depend on timing — the test suite runs the
+    constructions under several jitter schedules and asserts identical
+    results. *)
+val create :
+  ?jitter:int * float -> Cr_metric.Graph.t -> init:(int -> 'state) ->
+  ('msg, 'state) t
+
+(** [state t v] reads a node's current state. *)
+val state : ('msg, 'state) t -> int -> 'state
+
+(** [inject t ~dst msg] enqueues an external message (delivered at the
+    current simulation time; used to kick off protocols). *)
+val inject : ('msg, 'state) t -> dst:int -> 'msg -> unit
+
+(** [run t ~handler ~max_messages] delivers messages until quiescence:
+    [handler actions ~self state msg] returns the node's next state.
+    Raises [Failure] if more than [max_messages] are delivered (protocol
+    bug guard). Returns delivery statistics. [run] may be called again
+    after further [inject]s; statistics accumulate. *)
+val run :
+  ('msg, 'state) t ->
+  handler:('msg actions -> self:int -> 'state -> 'msg -> 'state) ->
+  max_messages:int ->
+  stats

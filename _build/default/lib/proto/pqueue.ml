@@ -1,0 +1,65 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+}
+
+let create () = { heap = [||]; size = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q entry =
+  let capacity = Array.length q.heap in
+  if q.size = capacity then begin
+    let next = Array.make (max 16 (2 * capacity)) entry in
+    Array.blit q.heap 0 next 0 q.size;
+    q.heap <- next
+  end
+
+let push q ~time ~seq value =
+  let entry = { time; seq; value } in
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  let i = ref (q.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less q.heap.(!i) q.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = q.heap.(!i) in
+    q.heap.(!i) <- q.heap.(parent);
+    q.heap.(parent) <- tmp;
+    i := parent
+  done
+
+let pop_min q =
+  if q.size = 0 then raise Not_found;
+  let top = q.heap.(0) in
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.heap.(0) <- q.heap.(q.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if left < q.size && less q.heap.(left) q.heap.(!smallest) then
+        smallest := left;
+      if right < q.size && less q.heap.(right) q.heap.(!smallest) then
+        smallest := right;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = q.heap.(!i) in
+        q.heap.(!i) <- q.heap.(!smallest);
+        q.heap.(!smallest) <- tmp;
+        i := !smallest
+      end
+    done
+  end;
+  (top.time, top.value)

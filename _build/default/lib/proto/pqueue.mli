@@ -1,0 +1,17 @@
+(** A generic binary min-heap keyed by (float, int) — the event queue of the
+    message-passing simulator. The integer component is a sequence number
+    so that simultaneous events dequeue in insertion order, keeping runs
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** [push q ~time ~seq x] enqueues [x] at the given key. *)
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** [pop_min q] dequeues the least-key element with its time.
+    Raises [Not_found] when empty. *)
+val pop_min : 'a t -> float * 'a

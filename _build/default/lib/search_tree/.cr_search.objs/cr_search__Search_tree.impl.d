@@ -1,0 +1,1 @@
+lib/search_tree/search_tree.ml: Array Cr_metric Cr_nets Cr_tree Float Hashtbl List

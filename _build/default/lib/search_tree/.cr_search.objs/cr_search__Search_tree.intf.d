@@ -1,0 +1,1 @@
+lib/search_tree/search_tree.mli: Cr_metric Cr_tree

@@ -1,0 +1,1 @@
+lib/sim/export.ml: Buffer Cr_metric Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Array Cr_metric Float Format List Scheme Workload

@@ -1,0 +1,1 @@
+lib/sim/stats.mli: Cr_metric Format Scheme Workload

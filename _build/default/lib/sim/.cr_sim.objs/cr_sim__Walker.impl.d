@@ -1,0 +1,1 @@
+lib/sim/walker.ml: Cr_metric List

@@ -1,0 +1,1 @@
+lib/sim/walker.mli: Cr_metric

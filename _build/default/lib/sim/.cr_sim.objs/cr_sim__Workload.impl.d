@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Cr_graphgen Fun List

@@ -1,0 +1,65 @@
+module Metric = Cr_metric.Metric
+module Graph = Cr_metric.Graph
+
+let route_edges route =
+  let tbl = Hashtbl.create 16 in
+  let rec collect = function
+    | a :: (b :: _ as rest) ->
+      Hashtbl.replace tbl (min a b, max a b) ();
+      collect rest
+    | _ -> ()
+  in
+  collect route;
+  tbl
+
+let dot_of_graph m ?(route = []) () =
+  let g = Metric.graph m in
+  let buf = Buffer.create 4096 in
+  let on_route = route_edges route in
+  let route_nodes = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace route_nodes v ()) route;
+  Buffer.add_string buf "graph network {\n";
+  Buffer.add_string buf "  node [shape=circle, fontsize=9];\n";
+  (match route with
+  | [] -> ()
+  | first :: _ ->
+    let last = List.nth route (List.length route - 1) in
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [style=filled, fillcolor=green];\n" first);
+    Buffer.add_string buf
+      (Printf.sprintf "  %d [style=filled, fillcolor=red];\n" last));
+  List.iter
+    (fun (e : Graph.edge) ->
+      let attrs =
+        if Hashtbl.mem on_route (min e.u e.v, max e.u e.v) then
+          ", color=blue, penwidth=2.5"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d [label=\"%.3g\"%s];\n" e.u e.v e.w attrs))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let csv_of_route m route =
+  let g = Metric.graph m in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "step,node,edge_cost,cumulative,teleport\n";
+  let rec go step prev cumulative = function
+    | [] -> ()
+    | v :: rest ->
+      let cost, teleport =
+        match prev with
+        | None -> (0.0, false)
+        | Some p ->
+          (match Graph.edge_weight g p v with
+          | Some w -> (w, false)
+          | None -> (Metric.dist m p v, true))
+      in
+      let cumulative = cumulative +. cost in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%.6g,%.6g,%b\n" step v cost cumulative teleport);
+      go (step + 1) (Some v) cumulative rest
+  in
+  go 0 None 0.0 route;
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+type outcome = {
+  cost : float;
+  hops : int;
+}
+
+type labeled = {
+  l_name : string;
+  label : int -> int;
+  route_to_label : src:int -> dest_label:int -> outcome;
+  l_table_bits : int -> int;
+  l_label_bits : int;
+  l_header_bits : int;
+}
+
+type name_independent = {
+  ni_name : string;
+  route_to_name : src:int -> dest_name:int -> outcome;
+  ni_table_bits : int -> int;
+  ni_header_bits : int;
+}
+
+let route_labeled s ~src ~dst =
+  s.route_to_label ~src ~dest_label:(s.label dst)
+
+let summarize_max bits n =
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    let b = bits v in
+    if b > !best then best := b
+  done;
+  !best
+
+let summarize_avg bits n =
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    total := !total + bits v
+  done;
+  float_of_int !total /. float_of_int n
+
+let max_table_bits s n = summarize_max s.l_table_bits n
+let avg_table_bits s n = summarize_avg s.l_table_bits n
+let ni_max_table_bits s n = summarize_max s.ni_table_bits n
+let ni_avg_table_bits s n = summarize_avg s.ni_table_bits n

@@ -1,0 +1,41 @@
+(** First-class routing-scheme values: the uniform interface between the
+    concrete schemes (cr_core, cr_baselines) and the measurement harness.
+
+    A labeled scheme exposes its label assignment and routes given the
+    destination's *label*; a name-independent scheme routes given the
+    destination's arbitrary original *name* (a permutation of [0, n)). *)
+
+type outcome = {
+  cost : float;  (** distance actually traveled *)
+  hops : int;  (** graph edges traversed (plus charged virtual edges) *)
+}
+
+type labeled = {
+  l_name : string;
+  label : int -> int;  (** node -> routing label *)
+  route_to_label : src:int -> dest_label:int -> outcome;
+  l_table_bits : int -> int;  (** per-node routing information, in bits *)
+  l_label_bits : int;
+  l_header_bits : int;  (** maximum packet-header size, in bits *)
+}
+
+type name_independent = {
+  ni_name : string;
+  route_to_name : src:int -> dest_name:int -> outcome;
+  ni_table_bits : int -> int;
+  ni_header_bits : int;
+}
+
+(** [route_labeled s ~src ~dst] looks up [dst]'s label and routes to it. *)
+val route_labeled : labeled -> src:int -> dst:int -> outcome
+
+(** [max_table_bits s n] / [avg_table_bits s n] summarize per-node storage
+    over nodes [0..n-1] for a labeled scheme. *)
+val max_table_bits : labeled -> int -> int
+
+val avg_table_bits : labeled -> int -> float
+
+(** Same summaries for a name-independent scheme. *)
+val ni_max_table_bits : name_independent -> int -> int
+
+val ni_avg_table_bits : name_independent -> int -> float

@@ -1,0 +1,74 @@
+module Metric = Cr_metric.Metric
+
+type summary = {
+  count : int;
+  max_stretch : float;
+  avg_stretch : float;
+  p50_stretch : float;
+  p99_stretch : float;
+  max_cost : float;
+  total_hops : int;
+}
+
+let summarize samples =
+  if samples = [] then invalid_arg "Stats.summarize: no samples";
+  let stretches =
+    List.map
+      (fun (d, cost, _) ->
+        if d <= 0.0 then
+          invalid_arg "Stats.summarize: non-positive shortest distance";
+        cost /. d)
+      samples
+  in
+  let arr = Array.of_list stretches in
+  Array.sort compare arr;
+  let count = Array.length arr in
+  let pct p = arr.(min (count - 1) (int_of_float (p *. float_of_int count))) in
+  { count;
+    max_stretch = arr.(count - 1);
+    avg_stretch = Array.fold_left ( +. ) 0.0 arr /. float_of_int count;
+    p50_stretch = pct 0.50;
+    p99_stretch = pct 0.99;
+    max_cost =
+      List.fold_left (fun acc (_, c, _) -> Float.max acc c) 0.0 samples;
+    total_hops = List.fold_left (fun acc (_, _, h) -> acc + h) 0 samples }
+
+let samples_of m route pairs =
+  List.map
+    (fun (src, dst) ->
+      let outcome : Scheme.outcome = route src dst in
+      (Metric.dist m src dst, outcome.cost, outcome.hops))
+    pairs
+
+let measure_labeled m (s : Scheme.labeled) pairs =
+  summarize (samples_of m (fun src dst -> Scheme.route_labeled s ~src ~dst) pairs)
+
+let measure_name_independent m (s : Scheme.name_independent) naming pairs =
+  let route src dst =
+    s.route_to_name ~src ~dest_name:naming.Workload.name_of.(dst)
+  in
+  summarize (samples_of m route pairs)
+
+let worst_of m route pairs =
+  List.fold_left
+    (fun ((_, best_stretch) as best) (src, dst) ->
+      let outcome : Scheme.outcome = route src dst in
+      let stretch = outcome.cost /. Metric.dist m src dst in
+      if stretch > best_stretch then ((src, dst), stretch) else best)
+    (((-1), -1), neg_infinity)
+    pairs
+
+let worst_pair_labeled m (s : Scheme.labeled) pairs =
+  worst_of m (fun src dst -> Scheme.route_labeled s ~src ~dst) pairs
+
+let worst_pair_name_independent m (s : Scheme.name_independent) naming pairs =
+  let route src dst =
+    s.route_to_name ~src ~dest_name:naming.Workload.name_of.(dst)
+  in
+  worst_of m route pairs
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "pairs=%d stretch[max=%.3f avg=%.3f p50=%.3f p99=%.3f] hops=%d"
+    s.count s.max_stretch s.avg_stretch s.p50_stretch s.p99_stretch
+    s.total_hops

@@ -1,0 +1,39 @@
+(** Stretch statistics over a set of routed pairs. *)
+
+type summary = {
+  count : int;
+  max_stretch : float;
+  avg_stretch : float;
+  p50_stretch : float;
+  p99_stretch : float;
+  max_cost : float;
+  total_hops : int;
+}
+
+(** [summarize samples] aggregates (shortest_distance, routed_cost, hops)
+    triples. Raises [Invalid_argument] on an empty list or a non-positive
+    shortest distance. *)
+val summarize : (float * float * int) list -> summary
+
+(** [measure_labeled m scheme pairs] routes every pair with a labeled
+    scheme and summarizes. *)
+val measure_labeled :
+  Cr_metric.Metric.t -> Scheme.labeled -> (int * int) list -> summary
+
+(** [measure_name_independent m scheme naming pairs] routes every (src,
+    dst-node) pair by the destination's *name* under [naming]. *)
+val measure_name_independent :
+  Cr_metric.Metric.t -> Scheme.name_independent -> Workload.naming ->
+  (int * int) list -> summary
+
+(** [worst_pair_labeled m scheme pairs] is the pair attaining max stretch. *)
+val worst_pair_labeled :
+  Cr_metric.Metric.t -> Scheme.labeled -> (int * int) list ->
+  (int * int) * float
+
+(** [worst_pair_name_independent m scheme naming pairs] likewise. *)
+val worst_pair_name_independent :
+  Cr_metric.Metric.t -> Scheme.name_independent -> Workload.naming ->
+  (int * int) list -> (int * int) * float
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,57 @@
+module Metric = Cr_metric.Metric
+module Graph = Cr_metric.Graph
+
+exception Hop_budget_exhausted
+
+type t = {
+  metric : Metric.t;
+  mutable position : int;
+  mutable cost : float;
+  mutable hops : int;
+  mutable trail : int list;  (* visited nodes, most recent first *)
+  max_hops : int;
+}
+
+let create m ~start ~max_hops =
+  if start < 0 || start >= Metric.n m then
+    invalid_arg "Walker.create: start out of range";
+  { metric = m; position = start; cost = 0.0; hops = 0; trail = [ start ];
+    max_hops }
+
+let position w = w.position
+let cost w = w.cost
+let hops w = w.hops
+
+let spend w =
+  w.hops <- w.hops + 1;
+  if w.hops > w.max_hops then raise Hop_budget_exhausted
+
+let step w v =
+  match Graph.edge_weight (Metric.graph w.metric) w.position v with
+  | None -> invalid_arg "Walker.step: not a neighbor"
+  | Some weight ->
+    spend w;
+    w.position <- v;
+    w.trail <- v :: w.trail;
+    w.cost <- w.cost +. weight
+
+let walk_shortest_path w dst =
+  if dst <> w.position then
+    let path = Metric.shortest_path w.metric ~src:w.position ~dst in
+    match path with
+    | [] | [ _ ] -> ()
+    | _ :: rest -> List.iter (fun v -> step w v) rest
+
+let charge w c =
+  if c < 0.0 then invalid_arg "Walker.charge: negative cost";
+  spend w;
+  w.cost <- w.cost +. c
+
+let teleport w v ~cost =
+  if cost < 0.0 then invalid_arg "Walker.teleport: negative cost";
+  spend w;
+  w.position <- v;
+  w.trail <- v :: w.trail;
+  w.cost <- w.cost +. cost
+
+let trail w = List.rev w.trail

@@ -1,0 +1,45 @@
+(** A packet walking the graph, with exact cost/hop accounting.
+
+    Every routing scheme executes its decisions through a walker, so that
+    measured route cost is the true distance traveled in the graph (not the
+    metric shortcut the analysis would charge). A hop budget guards against
+    scheme bugs that would loop forever. *)
+
+type t
+
+exception Hop_budget_exhausted
+
+(** [create m ~start ~max_hops] places a packet at [start]. *)
+val create : Cr_metric.Metric.t -> start:int -> max_hops:int -> t
+
+(** [position w] is the packet's current node. *)
+val position : t -> int
+
+(** [cost w] is the total distance traveled so far. *)
+val cost : t -> float
+
+(** [hops w] is the number of graph edges traversed so far. *)
+val hops : t -> int
+
+(** [step w v] moves the packet across the single graph edge to neighbor
+    [v]. Raises [Invalid_argument] if [v] is not adjacent, and
+    [Hop_budget_exhausted] past the budget. *)
+val step : t -> int -> unit
+
+(** [walk_shortest_path w dst] moves the packet hop-by-hop along the
+    canonical shortest path to [dst] (no-op if already there). *)
+val walk_shortest_path : t -> int -> unit
+
+(** [charge w c] adds cost [c] and one hop without moving the packet — used
+    for virtual edges whose traversal cost is charged at an analytical bound
+    (Definition 4.2 chain edges). [c] must be non-negative. *)
+val charge : t -> float -> unit
+
+(** [teleport w v ~cost] moves the packet to [v] adding the given cost and
+    a single hop — used by baselines that model an out-of-band hand-off. *)
+val teleport : t -> int -> cost:float -> unit
+
+(** [trail w] is every node visited so far in order, starting with the
+    start node (teleport targets included) — the raw data for route
+    visualization and path assertions. *)
+val trail : t -> int list

@@ -1,0 +1,39 @@
+module Rng = Cr_graphgen.Rng
+
+let all_pairs n =
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    for v = n - 1 downto 0 do
+      if u <> v then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let sample_pairs ~n ~count ~seed =
+  if n < 2 then invalid_arg "Workload.sample_pairs: n must be >= 2";
+  let rng = Rng.create seed in
+  List.init count (fun _ ->
+      let u = Rng.int rng n in
+      let v = Rng.int rng (n - 1) in
+      let v = if v >= u then v + 1 else v in
+      (u, v))
+
+let pairs_for ~n ~seed ~budget =
+  if n * (n - 1) <= budget then all_pairs n
+  else sample_pairs ~n ~count:budget ~seed
+
+type naming = {
+  name_of : int array;
+  node_of : int array;
+}
+
+let of_name_array name_of =
+  let n = Array.length name_of in
+  let node_of = Array.make n (-1) in
+  Array.iteri (fun v name -> node_of.(name) <- v) name_of;
+  { name_of; node_of }
+
+let identity_naming n = of_name_array (Array.init n Fun.id)
+
+let random_naming ~n ~seed =
+  of_name_array (Rng.permutation (Rng.create seed) n)

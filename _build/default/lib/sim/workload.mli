@@ -1,0 +1,27 @@
+(** Workload generation: source-destination pairs and node namings.
+
+    Name-independent routing is evaluated against *adversarially arbitrary*
+    node names; we model them as seeded random permutations of [0, n), plus
+    an identity naming for debugging. *)
+
+(** [all_pairs n] is every ordered pair (u, v) with u <> v. *)
+val all_pairs : int -> (int * int) list
+
+(** [sample_pairs ~n ~count ~seed] draws [count] ordered pairs with
+    u <> v, uniformly with replacement. *)
+val sample_pairs : n:int -> count:int -> seed:int -> (int * int) list
+
+(** [pairs_for ~n ~seed ~budget] is [all_pairs n] when n(n-1) <= budget and
+    a sample of [budget] pairs otherwise — the harness's default policy. *)
+val pairs_for : n:int -> seed:int -> budget:int -> (int * int) list
+
+type naming = {
+  name_of : int array;  (** node -> name *)
+  node_of : int array;  (** name -> node *)
+}
+
+(** [identity_naming n] names every node by its own id. *)
+val identity_naming : int -> naming
+
+(** [random_naming ~n ~seed] is a uniform permutation naming. *)
+val random_naming : n:int -> seed:int -> naming

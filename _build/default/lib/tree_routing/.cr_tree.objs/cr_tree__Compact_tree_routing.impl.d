@@ -1,0 +1,1 @@
+lib/tree_routing/compact_tree_routing.ml: Cr_metric Hashtbl Heavy_path List Tree

@@ -1,0 +1,1 @@
+lib/tree_routing/compact_tree_routing.mli: Tree

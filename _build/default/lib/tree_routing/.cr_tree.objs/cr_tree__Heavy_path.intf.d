@@ -1,0 +1,1 @@
+lib/tree_routing/heavy_path.mli: Tree

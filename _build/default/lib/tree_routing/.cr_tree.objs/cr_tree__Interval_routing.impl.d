@@ -1,0 +1,1 @@
+lib/tree_routing/interval_routing.ml: Array Cr_metric Hashtbl List Tree

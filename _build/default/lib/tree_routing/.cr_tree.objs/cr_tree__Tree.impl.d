@@ -1,0 +1,1 @@
+lib/tree_routing/tree.ml: Array Hashtbl List

@@ -1,0 +1,44 @@
+(** Rooted, edge-weighted trees over arbitrary (external) node ids.
+
+    Used for every tree-shaped structure in the schemes: Voronoi
+    shortest-path trees T_c(j), search trees over balls, and spanning-tree
+    baselines. Nodes keep their graph ids; edges carry the travel cost a
+    packet pays to cross them. *)
+
+type t
+
+(** [of_parents ~root ~nodes ~parent ~weight] builds a tree on [nodes]
+    (which must include [root]): [parent v] is [v]'s parent id
+    (ignored for the root) and [weight v] the cost of the edge to it.
+    Raises [Invalid_argument] if the parent pointers do not form a tree on
+    exactly [nodes] rooted at [root], or if any weight is negative. *)
+val of_parents :
+  root:int -> nodes:int list -> parent:(int -> int) -> weight:(int -> float) ->
+  t
+
+(** [root t] is the root's external id. *)
+val root : t -> int
+
+(** [size t] is the number of nodes. *)
+val size : t -> int
+
+(** [nodes t] lists external ids, sorted. *)
+val nodes : t -> int list
+
+(** [mem t v] is true iff [v] is a node of [t]. *)
+val mem : t -> int -> bool
+
+(** [parent t v] is [Some (parent, weight)] or [None] for the root. *)
+val parent : t -> int -> (int * float) option
+
+(** [children t v] lists (child, weight) pairs, increasing child id. *)
+val children : t -> int -> (int * float) list
+
+(** [degree t v] is the number of tree edges at [v]. *)
+val degree : t -> int -> int
+
+(** [path_cost t u v] is the (unique) tree-path cost between [u] and [v]. *)
+val path_cost : t -> int -> int -> float
+
+(** [depth_cost t v] is the cost of the root-to-[v] path. *)
+val depth_cost : t -> int -> float

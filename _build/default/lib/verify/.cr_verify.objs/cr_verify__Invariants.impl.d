@@ -1,0 +1,1 @@
+lib/verify/invariants.ml: Array Cr_metric Cr_nets Cr_packing Cr_search Float Format Hashtbl List Printf

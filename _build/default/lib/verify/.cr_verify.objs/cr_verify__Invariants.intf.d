@@ -1,0 +1,1 @@
+lib/verify/invariants.mli: Cr_metric Cr_nets Cr_search Format

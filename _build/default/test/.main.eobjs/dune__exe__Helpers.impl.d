@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Cr_graphgen Cr_metric QCheck2 QCheck_alcotest

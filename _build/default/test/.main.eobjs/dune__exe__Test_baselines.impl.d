@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Cr_baselines Cr_graphgen Cr_metric Cr_sim Helpers List Printf

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Bytes Cr_codec Cr_core Cr_metric Cr_nets Cr_sim Cr_tree Fun Helpers List Printf QCheck2

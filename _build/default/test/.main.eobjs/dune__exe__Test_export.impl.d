@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Cr_metric Cr_sim Helpers List String

@@ -1,0 +1,1 @@
+test/test_graphgen.ml: Alcotest Array Cr_graphgen Cr_metric Fun Helpers List Option QCheck2

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cr_core Cr_metric Cr_nets Cr_sim Float Helpers List

@@ -1,0 +1,1 @@
+test/test_location.ml: Alcotest Cr_core Cr_graphgen Cr_location Cr_metric Cr_nets Cr_search Cr_sim Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Cr_lowerbound Cr_metric Cr_sim Float Helpers List Printf

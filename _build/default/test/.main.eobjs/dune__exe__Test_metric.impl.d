@@ -1,0 +1,1 @@
+test/test_metric.ml: Alcotest Array Cr_graphgen Cr_metric Filename Float Fun Helpers List Option Printf QCheck2 Sys

@@ -1,0 +1,1 @@
+test/test_nets.ml: Alcotest Array Cr_graphgen Cr_metric Cr_nets Float Fun Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_packing.ml: Alcotest Array Cr_graphgen Cr_metric Cr_packing Fun Hashtbl Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Cr_graphgen Cr_metric Cr_nets Cr_packing Cr_proto Float Fun Helpers List Option Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_rings.ml: Alcotest Cr_core Cr_metric Cr_nets Float Fun Helpers List

@@ -1,0 +1,1 @@
+test/test_scale_free_labeled.ml: Alcotest Cr_core Cr_graphgen Cr_metric Cr_nets Cr_sim Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_scale_free_ni.ml: Alcotest Array Cr_core Cr_graphgen Cr_metric Cr_nets Cr_sim Float Hashtbl Helpers List Option Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_search_tree.ml: Alcotest Cr_graphgen Cr_metric Cr_search Cr_tree Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cr_baselines Cr_metric Cr_sim Float Fun Helpers List QCheck2

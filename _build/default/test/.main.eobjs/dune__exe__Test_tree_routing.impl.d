@@ -1,0 +1,1 @@
+test/test_tree_routing.ml: Alcotest Cr_graphgen Cr_metric Cr_tree Float Fun Helpers List QCheck2

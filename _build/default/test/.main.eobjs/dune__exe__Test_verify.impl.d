@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Cr_graphgen Cr_metric Cr_nets Cr_search Cr_verify Format Helpers List String

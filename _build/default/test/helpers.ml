@@ -1,0 +1,45 @@
+(* Shared fixtures and check utilities for the test suites. *)
+
+module Graph = Cr_metric.Graph
+module Metric = Cr_metric.Metric
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Small fixed graphs used across suites. Metrics are memoized because APSP
+   on the larger fixtures is the dominant cost of the test run. *)
+
+let memo f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      cache := Some v;
+      v
+
+let triangle =
+  memo (fun () ->
+      Metric.of_graph (Graph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 1.5) ]))
+
+let grid6 = memo (fun () -> Metric.of_graph (Cr_graphgen.Grid.square ~side:6))
+let grid8 = memo (fun () -> Metric.of_graph (Cr_graphgen.Grid.square ~side:8))
+let ring16 = memo (fun () -> Metric.of_graph (Cr_graphgen.Path_like.ring ~n:16))
+
+let holey =
+  memo (fun () ->
+      Metric.of_graph
+        (Cr_graphgen.Grid.with_holes ~side:8 ~hole_fraction:0.2 ~seed:7))
+
+let geo48 =
+  memo (fun () -> Metric.of_graph (Cr_graphgen.Geometric.knn ~n:48 ~k:3 ~seed:11))
+
+let expo12 =
+  memo (fun () ->
+      Metric.of_graph (Cr_graphgen.Path_like.exponential_chain ~n:12 ~base:2.0))
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)

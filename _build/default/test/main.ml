@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "compact-routing"
+    [ ("metric", Test_metric.suite);
+      ("graphgen", Test_graphgen.suite);
+      ("nets", Test_nets.suite);
+      ("packing", Test_packing.suite);
+      ("tree-routing", Test_tree_routing.suite);
+      ("search-tree", Test_search_tree.suite);
+      ("sim", Test_sim.suite);
+      ("hier-labeled", Test_hier_labeled.suite);
+      ("scale-free-labeled", Test_scale_free_labeled.suite);
+      ("simple-ni", Test_simple_ni.suite);
+      ("scale-free-ni", Test_scale_free_ni.suite);
+      ("baselines", Test_baselines.suite);
+      ("lowerbound", Test_lowerbound.suite);
+      ("location", Test_location.suite);
+      ("proto", Test_proto.suite);
+      ("export", Test_export.suite);
+      ("codec", Test_codec.suite);
+      ("verify", Test_verify.suite);
+      ("rings", Test_rings.suite);
+      ("integration", Test_integration.suite) ]

@@ -1,0 +1,200 @@
+(* Tests for bit buffers and routing-table wire formats. *)
+
+open Helpers
+module Metric = Cr_metric.Metric
+module Bits = Cr_metric.Bits
+module Bitbuf = Cr_codec.Bitbuf
+module Table_codec = Cr_codec.Table_codec
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Rings = Cr_core.Rings
+module Interval_routing = Cr_tree.Interval_routing
+module Tree = Cr_tree.Tree
+
+let test_bitbuf_roundtrip () =
+  let w = Bitbuf.writer () in
+  let values = [ (1, 1); (7, 3); (0, 5); (1023, 10); (42, 7); (1, 62) ] in
+  List.iter (fun (v, bits) -> Bitbuf.push w ~bits v) values;
+  check_int "length" (1 + 3 + 5 + 10 + 7 + 62) (Bitbuf.length_bits w);
+  let r = Bitbuf.reader (Bitbuf.contents w) in
+  List.iter
+    (fun (v, bits) -> check_int "value" v (Bitbuf.pull r ~bits))
+    values;
+  check_int "read position" (Bitbuf.length_bits w) (Bitbuf.bits_read r)
+
+let test_bitbuf_rejects () =
+  let w = Bitbuf.writer () in
+  Alcotest.check_raises "value too large"
+    (Invalid_argument "Bitbuf.push: value does not fit") (fun () ->
+      Bitbuf.push w ~bits:3 8);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bitbuf.push: value does not fit") (fun () ->
+      Bitbuf.push w ~bits:3 (-1));
+  let r = Bitbuf.reader (Bytes.create 1) in
+  ignore (Bitbuf.pull r ~bits:8);
+  Alcotest.check_raises "past end"
+    (Invalid_argument "Bitbuf.pull: past end of buffer") (fun () ->
+      ignore (Bitbuf.pull r ~bits:1))
+
+let prop_bitbuf_random =
+  qcheck_case ~count:100 "bitbuf: random sequences roundtrip"
+    QCheck2.Gen.(
+      list_size (int_range 1 50)
+        (let* bits = int_range 1 30 in
+         let* v = int_range 0 ((1 lsl bits) - 1) in
+         return (v, bits)))
+    (fun values ->
+      let w = Bitbuf.writer () in
+      List.iter (fun (v, bits) -> Bitbuf.push w ~bits v) values;
+      let r = Bitbuf.reader (Bitbuf.contents w) in
+      List.for_all (fun (v, bits) -> Bitbuf.pull r ~bits = v) values)
+
+(* Extract a node's real ring table and push it through the codec. *)
+let ring_levels_of rings nt m u =
+  List.map
+    (fun level ->
+      let entries =
+        List.map
+          (fun x ->
+            let range = Netting_tree.range nt ~level x in
+            { Table_codec.member = x;
+              range_lo = range.Netting_tree.lo;
+              range_hi = range.Netting_tree.hi;
+              next_hop = (if x = u then u else Metric.next_hop m ~src:u ~dst:x) })
+          (Rings.ring rings u ~level)
+      in
+      { Table_codec.level; entries })
+    (Rings.selected_levels rings u)
+
+let test_ring_tables_roundtrip () =
+  let m = holey () in
+  let h = Hierarchy.build m in
+  let nt = Netting_tree.build h in
+  let rings = Rings.build nt ~epsilon:0.5 ~mode:Rings.Selected in
+  let n = Metric.n m in
+  let level_count = Hierarchy.top_level h + 1 in
+  for u = 0 to n - 1 do
+    let levels = ring_levels_of rings nt m u in
+    let data = Table_codec.encode_rings ~n ~level_count levels in
+    let decoded = Table_codec.decode_rings ~n ~level_count data in
+    check_bool (Printf.sprintf "node %d rings roundtrip" u) true
+      (decoded = levels);
+    (* the exact-size predictor matches the writer *)
+    check_bool "size within a byte of prediction" true
+      (abs
+         ((8 * Bytes.length data)
+         - Table_codec.rings_bits ~n ~level_count levels)
+      < 8)
+  done
+
+let test_ring_encoding_matches_accounting () =
+  (* the harness charges 4 id-sized fields per entry (range + hop + id);
+     the wire format adds only level indices and count prefixes *)
+  let m = grid6 () in
+  let h = Hierarchy.build m in
+  let nt = Netting_tree.build h in
+  let rings = Rings.build nt ~epsilon:0.5 ~mode:Rings.Selected in
+  let n = Metric.n m in
+  let level_count = Hierarchy.top_level h + 1 in
+  for u = 0 to n - 1 do
+    let levels = ring_levels_of rings nt m u in
+    let encoded = Table_codec.rings_bits ~n ~level_count levels in
+    let charged = Rings.table_bits rings u in
+    let prefixes = 16 * (1 + List.length levels) in
+    check_bool
+      (Printf.sprintf "node %d: encoded %d ~ charged %d + prefixes" u encoded
+         charged)
+      true
+      (encoded <= charged + prefixes)
+  done
+
+let test_interval_tables_roundtrip () =
+  let m = holey () in
+  let n = Metric.n m in
+  (* a shortest-path tree's interval routing tables *)
+  let parent v =
+    match Metric.shortest_path m ~src:v ~dst:0 with
+    | _ :: hop :: _ -> hop
+    | _ -> assert false
+  in
+  let tree =
+    Tree.of_parents ~root:0
+      ~nodes:(List.init n Fun.id)
+      ~parent
+      ~weight:(fun _ -> 1.0)
+  in
+  let ir = Interval_routing.build tree in
+  List.iter
+    (fun v ->
+      let own = Interval_routing.label ir v in
+      let table =
+        { Table_codec.own_lo = own;
+          own_hi = own;
+          parent_port =
+            (match Tree.parent tree v with Some (p, _) -> p | None -> v);
+          children =
+            List.map
+              (fun (c, _) -> (Interval_routing.label ir c, own, c))
+              (Tree.children tree v) }
+      in
+      let data = Table_codec.encode_interval ~n table in
+      check_bool "interval roundtrip" true
+        (Table_codec.decode_interval ~n data = table);
+      check_bool "size prediction" true
+        (abs ((8 * Bytes.length data) - Table_codec.interval_bits ~n table)
+        < 8))
+    (Tree.nodes tree)
+
+let suite =
+  [ Alcotest.test_case "bitbuf roundtrip" `Quick test_bitbuf_roundtrip;
+    Alcotest.test_case "bitbuf rejects" `Quick test_bitbuf_rejects;
+    prop_bitbuf_random;
+    Alcotest.test_case "ring tables roundtrip" `Quick
+      test_ring_tables_roundtrip;
+    Alcotest.test_case "ring encoding matches accounting" `Quick
+      test_ring_encoding_matches_accounting;
+    Alcotest.test_case "interval tables roundtrip" `Quick
+      test_interval_tables_roundtrip ]
+
+let test_scheme_codec_roundtrip_and_route () =
+  (* encode every node's table, decode, and deliver a packet using ONLY the
+     decoded wire-format tables *)
+  let m = holey () in
+  let nt = Netting_tree.build (Hierarchy.build m) in
+  let scheme = Cr_core.Hier_labeled.build nt ~epsilon:0.5 in
+  let n = Metric.n m in
+  let decoded =
+    Array.init n (fun v ->
+        let data = Cr_codec.Scheme_codec.encode_node scheme v in
+        check_bool "size prediction" true
+          (abs
+             ((8 * Bytes.length data)
+             - Cr_codec.Scheme_codec.encoded_bits scheme v)
+          < 8);
+        Cr_codec.Scheme_codec.decode_node scheme data)
+  in
+  let route src dst =
+    let dest_label = Cr_core.Hier_labeled.label scheme dst in
+    let rec go v hops =
+      check_bool "hop budget" true (hops < 10_000);
+      match
+        Cr_codec.Scheme_codec.next_hop_from_table decoded.(v) ~self:v
+          ~dest_label
+      with
+      | None -> check_int "arrived" dst v
+      | Some target ->
+        (* one graph hop toward the stored target *)
+        let hop = if target = dst then Metric.next_hop m ~src:v ~dst
+                  else Metric.next_hop m ~src:v ~dst:target in
+        go hop (hops + 1)
+    in
+    go src 0
+  in
+  List.iter
+    (fun (src, dst) -> route src dst)
+    (Cr_sim.Workload.sample_pairs ~n ~count:80 ~seed:13)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "scheme codec roundtrip + route" `Quick
+        test_scheme_codec_roundtrip_and_route ]

@@ -1,0 +1,143 @@
+(* Cross-scheme integration tests: build every scheme on every fixture once
+   and check the relationships the paper's results imply between them. *)
+
+open Helpers
+module Metric = Cr_metric.Metric
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Scheme = Cr_sim.Scheme
+module Stats = Cr_sim.Stats
+module Workload = Cr_sim.Workload
+module Hier = Cr_core.Hier_labeled
+module Sfl = Cr_core.Scale_free_labeled
+module Simple_ni = Cr_core.Simple_ni
+module Sfni = Cr_core.Scale_free_ni
+
+type stack = {
+  metric : Metric.t;
+  naming : Workload.naming;
+  pairs : (int * int) list;
+  hier : Hier.t;
+  sfl : Sfl.t;
+  simple : Simple_ni.t;
+  sfni : Sfni.t;
+}
+
+let build_stack m =
+  let n = Metric.n m in
+  let nt = Netting_tree.build (Hierarchy.build m) in
+  let naming = Workload.random_naming ~n ~seed:77 in
+  let hier = Hier.build nt ~epsilon:0.5 in
+  let sfl = Sfl.build nt ~epsilon:0.5 in
+  let simple =
+    Simple_ni.build nt ~epsilon:0.5 ~naming
+      ~underlying:(Hier.to_underlying hier)
+  in
+  let sfni =
+    Sfni.build nt ~epsilon:0.5 ~naming ~underlying:(Sfl.to_underlying sfl)
+  in
+  { metric = m; naming; pairs = Workload.pairs_for ~n ~seed:5 ~budget:600;
+    hier; sfl; simple; sfni }
+
+let fixtures () = [ grid6 (); holey (); ring16 (); expo12 () ]
+
+let test_labeled_beats_name_independent () =
+  (* knowing the label must never hurt: labeled stretch <= NI stretch on
+     aggregate (the NI scheme runs the labeled one underneath) *)
+  List.iter
+    (fun m ->
+      let s = build_stack m in
+      let labeled = Stats.measure_labeled m (Sfl.to_scheme s.sfl) s.pairs in
+      let ni =
+        Stats.measure_name_independent m (Sfni.to_scheme s.sfni) s.naming
+          s.pairs
+      in
+      check_bool "avg: labeled <= NI" true
+        (labeled.Stats.avg_stretch <= ni.Stats.avg_stretch +. 1e-9);
+      check_bool "max: labeled <= NI" true
+        (labeled.Stats.max_stretch <= ni.Stats.max_stretch +. 1e-9))
+    (fixtures ())
+
+let test_both_labeled_schemes_agree_on_quality () =
+  (* the two labeled schemes realize the same guarantee; their measured
+     stretch should be close (identical ring-phase behaviour on these
+     fixtures) *)
+  List.iter
+    (fun m ->
+      let s = build_stack m in
+      let a = Stats.measure_labeled m (Hier.to_scheme s.hier) s.pairs in
+      let b = Stats.measure_labeled m (Sfl.to_scheme s.sfl) s.pairs in
+      check_bool "avg within 10%" true
+        (Float.abs (a.Stats.avg_stretch -. b.Stats.avg_stretch)
+        <= 0.1 *. a.Stats.avg_stretch))
+    (fixtures ())
+
+let test_no_fallbacks_anywhere () =
+  List.iter
+    (fun m ->
+      let s = build_stack m in
+      List.iter
+        (fun (src, dst) ->
+          ignore (Scheme.route_labeled (Sfl.to_scheme s.sfl) ~src ~dst);
+          ignore
+            ((Sfni.to_scheme s.sfni).Scheme.route_to_name ~src
+               ~dest_name:s.naming.Workload.name_of.(dst)))
+        s.pairs;
+      check_int "sfl fallbacks" 0 (Sfl.fallback_count s.sfl))
+    (fixtures ())
+
+let test_labels_consistent_across_schemes () =
+  (* both labeled schemes use the netting-tree labels: they must agree *)
+  List.iter
+    (fun m ->
+      let s = build_stack m in
+      for v = 0 to Metric.n m - 1 do
+        check_int "same labels" (Hier.label s.hier v) (Sfl.label s.sfl v)
+      done)
+    (fixtures ())
+
+let test_scheme_storage_ordering () =
+  (* the NI schemes stack a directory on the labeled scheme, so their
+     tables strictly dominate the underlying ones *)
+  List.iter
+    (fun m ->
+      let s = build_stack m in
+      for v = 0 to Metric.n m - 1 do
+        check_bool "simple > hier" true
+          (Simple_ni.table_bits s.simple v > Hier.table_bits s.hier v);
+        check_bool "sfni > sfl" true
+          (Sfni.table_bits s.sfni v > Sfl.table_bits s.sfl v)
+      done)
+    (fixtures ())
+
+let test_cross_composition () =
+  (* Thm 1.1's directory over the non-scale-free labeled scheme also works
+     (the Underlying interface is the only contract) *)
+  let m = ring16 () in
+  let nt = Netting_tree.build (Hierarchy.build m) in
+  let naming = Workload.random_naming ~n:(Metric.n m) ~seed:7 in
+  let hier = Hier.build nt ~epsilon:0.5 in
+  let sfni =
+    Sfni.build nt ~epsilon:0.5 ~naming ~underlying:(Hier.to_underlying hier)
+  in
+  List.iter
+    (fun (src, dst) ->
+      let o =
+        (Sfni.to_scheme sfni).Scheme.route_to_name ~src
+          ~dest_name:naming.Workload.name_of.(dst)
+      in
+      check_bool "delivers" true (o.Scheme.cost >= Metric.dist m src dst -. 1e-9))
+    (Workload.all_pairs (Metric.n m))
+
+let suite =
+  [ Alcotest.test_case "labeled beats name-independent" `Quick
+      test_labeled_beats_name_independent;
+    Alcotest.test_case "labeled schemes agree" `Quick
+      test_both_labeled_schemes_agree_on_quality;
+    Alcotest.test_case "no fallbacks on fixtures" `Quick
+      test_no_fallbacks_anywhere;
+    Alcotest.test_case "labels consistent" `Quick
+      test_labels_consistent_across_schemes;
+    Alcotest.test_case "storage ordering" `Quick test_scheme_storage_ordering;
+    Alcotest.test_case "cross composition (Thm 1.1 over Lemma 3.1)" `Quick
+      test_cross_composition ]

@@ -1,0 +1,293 @@
+(* Unit and property tests for the metric substrate: graphs, Dijkstra, the
+   distance matrix, ball radii, and bit accounting. *)
+
+open Helpers
+module Graph = Cr_metric.Graph
+module Dijkstra = Cr_metric.Dijkstra
+module Metric = Cr_metric.Metric
+module Bits = Cr_metric.Bits
+module Doubling = Cr_metric.Doubling
+module Pq = Cr_metric.Priority_queue
+
+let test_graph_basics () =
+  let g = Graph.of_edges 4 [ (0, 1, 1.0); (1, 2, 2.0); (2, 3, 1.0) ] in
+  check_int "n" 4 (Graph.n g);
+  check_int "m" 3 (Graph.num_edges g);
+  check_int "deg 1" 2 (Graph.degree g 1);
+  check_int "max deg" 2 (Graph.max_degree g);
+  check_bool "connected" true (Graph.is_connected g);
+  check_float "weight" 2.0 (Option.get (Graph.edge_weight g 1 2));
+  check_bool "missing edge" true (Graph.edge_weight g 0 3 = None)
+
+let test_graph_rejects () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 1.0;
+  Alcotest.check_raises "self-loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> Graph.add_edge g 1 1 1.0);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Graph.add_edge: duplicate edge") (fun () ->
+      Graph.add_edge g 0 1 2.0);
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Graph.add_edge: weight must be positive and finite")
+    (fun () -> Graph.add_edge g 1 2 0.0)
+
+let test_graph_disconnected () =
+  let g = Graph.of_edges 4 [ (0, 1, 1.0); (2, 3, 1.0) ] in
+  check_bool "disconnected" false (Graph.is_connected g)
+
+let test_priority_queue () =
+  let h = Pq.create () in
+  check_bool "empty" true (Pq.is_empty h);
+  List.iter
+    (fun (p, x) -> Pq.push h ~priority:p x)
+    [ (3.0, 1); (1.0, 2); (2.0, 3); (1.0, 0) ];
+  let order = List.init 4 (fun _ -> snd (Pq.pop_min h)) in
+  Alcotest.(check (list int)) "pop order" [ 0; 2; 3; 1 ] order;
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Pq.pop_min h))
+
+let test_dijkstra_line () =
+  let g = Graph.of_edges 4 [ (0, 1, 1.0); (1, 2, 2.0); (2, 3, 1.0) ] in
+  let r = Dijkstra.run g 0 in
+  check_float "d(0,3)" 4.0 r.dist.(3);
+  Alcotest.(check (list int)) "path" [ 0; 1; 2; 3 ] (Dijkstra.path r 3);
+  check_int "next hop" 1 (Dijkstra.next_hop_toward r 3)
+
+let test_dijkstra_shortcut () =
+  (* Triangle where the direct edge 0-2 is longer than the two-hop path. *)
+  let g = Graph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 3.0) ] in
+  let r = Dijkstra.run g 0 in
+  check_float "d(0,2)" 2.0 r.dist.(2);
+  Alcotest.(check (list int)) "path avoids heavy edge" [ 0; 1; 2 ]
+    (Dijkstra.path r 2)
+
+let test_multi_source_prefix_closed () =
+  let m = grid8 () in
+  let g = Metric.graph m in
+  let centers = [ 0; 63; 28 ] in
+  let dist, owner, pred = Dijkstra.multi_source g centers in
+  (* every node's predecessor shares its owner: prefix-closure *)
+  for v = 0 to Graph.n g - 1 do
+    check_bool "owner is a center" true (List.mem owner.(v) centers);
+    if pred.(v) >= 0 then
+      check_int (Printf.sprintf "prefix closure at %d" v) owner.(pred.(v))
+        owner.(v);
+    check_bool "distance correct" true
+      (dist.(v)
+      = List.fold_left (fun acc c -> Float.min acc (Metric.dist m v c))
+          infinity centers)
+  done
+
+let test_metric_normalization () =
+  let g = Graph.of_edges 3 [ (0, 1, 5.0); (1, 2, 10.0) ] in
+  let m = Metric.of_graph g in
+  check_float "min distance" 1.0 (Metric.min_distance m);
+  check_float "diameter" 3.0 (Metric.diameter m);
+  check_float "Delta" 3.0 (Metric.normalized_diameter m)
+
+let test_metric_levels () =
+  let m = ring16 () in
+  (* ring of 16 unit edges: diameter 8, so levels = 3 *)
+  check_int "levels" 3 (Metric.levels m)
+
+let test_metric_ball () =
+  let m = grid6 () in
+  let b = Metric.ball m ~center:0 ~radius:1.0 in
+  Alcotest.(check (list int)) "ball r=1 at corner" [ 0; 1; 6 ] b;
+  check_int "ball size" 3 (Metric.ball_size m ~center:0 ~radius:1.0)
+
+let test_radius_of_size () =
+  let m = grid6 () in
+  check_float "r_u(1)=0" 0.0 (Metric.radius_of_size m 0 1);
+  check_float "r_0(3)" 1.0 (Metric.radius_of_size m 0 3);
+  check_bool "monotone" true
+    (Metric.radius_of_size m 0 8 <= Metric.radius_of_size m 0 16)
+
+let test_nearest_k () =
+  let m = grid6 () in
+  let near = Metric.nearest_k m 0 3 in
+  Alcotest.(check (list int)) "3 nearest to corner" [ 0; 1; 6 ] near;
+  check_int "size" 6 (List.length (Metric.nearest_k m 0 6))
+
+let test_nearest_in_tie_break () =
+  let m = grid6 () in
+  (* nodes 1 and 6 are both at distance 1 from 0: least id wins *)
+  check_int "tie break" 1 (Metric.nearest_in m 0 [ 6; 1 ])
+
+let test_next_hop () =
+  let m = grid6 () in
+  let hop = Metric.next_hop m ~src:0 ~dst:35 in
+  check_bool "hop adjacent" true
+    (Graph.edge_weight (Metric.graph m) 0 hop <> None)
+
+let test_bits () =
+  check_int "ceil_log2 1" 0 (Bits.ceil_log2 1);
+  check_int "ceil_log2 2" 1 (Bits.ceil_log2 2);
+  check_int "ceil_log2 3" 2 (Bits.ceil_log2 3);
+  check_int "ceil_log2 1024" 10 (Bits.ceil_log2 1024);
+  check_int "range" 12 (Bits.range_bits 64);
+  let t = Bits.create_tally () in
+  Bits.add t ~component:"a" 10;
+  Bits.add t ~component:"a" 5;
+  Bits.add t ~component:"b" 1;
+  check_int "tally total" 16 (Bits.total t);
+  Alcotest.(check (list (pair string int)))
+    "components" [ ("a", 15); ("b", 1) ] (Bits.components t)
+
+let test_doubling_grid () =
+  let m = grid6 () in
+  let alpha = Doubling.estimate m in
+  check_bool "grid doubling dimension is small" true (alpha <= 4.0);
+  let sampled = Doubling.estimate_sampled m ~samples:20 ~seed:3 in
+  check_bool "sampled <= full" true (sampled <= alpha)
+
+let test_doubling_hypercube_grows () =
+  let small = Metric.of_graph (Cr_graphgen.Hypercube.cube ~dim:3) in
+  let large = Metric.of_graph (Cr_graphgen.Hypercube.cube ~dim:6) in
+  check_bool "hypercube dimension grows" true
+    (Doubling.estimate large > Doubling.estimate small)
+
+(* Property tests *)
+
+let metric_gen =
+  (* random connected graph: a random tree plus a few extra edges *)
+  QCheck2.Gen.(
+    let* n = int_range 2 24 in
+    let* seed = int_range 0 10_000 in
+    return (n, seed))
+
+let metric_of (n, seed) =
+  let rng = Cr_graphgen.Rng.create seed in
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    let p = Cr_graphgen.Rng.int rng v in
+    Graph.add_edge g p v (1.0 +. Cr_graphgen.Rng.float rng 4.0)
+  done;
+  (* a few chords *)
+  let extra = n / 3 in
+  for _ = 1 to extra do
+    let u = Cr_graphgen.Rng.int rng n and v = Cr_graphgen.Rng.int rng n in
+    if u <> v && Graph.edge_weight g u v = None then
+      Graph.add_edge g u v (1.0 +. Cr_graphgen.Rng.float rng 4.0)
+  done;
+  Metric.of_graph g
+
+let prop_triangle_inequality =
+  qcheck_case "metric: triangle inequality + symmetry" metric_gen
+    (fun params ->
+      let m = metric_of params in
+      let n = Metric.n m in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Metric.dist m u v <> Metric.dist m v u then ok := false;
+          for w = 0 to n - 1 do
+            if Metric.dist m u w > Metric.dist m u v +. Metric.dist m v w +. 1e-9
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_shortest_path_cost =
+  qcheck_case "metric: canonical path cost matches distance" metric_gen
+    (fun params ->
+      let m = metric_of params in
+      let g = Metric.graph m in
+      let n = Metric.n m in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v then begin
+            let path = Metric.shortest_path m ~src:u ~dst:v in
+            let rec cost = function
+              | a :: (b :: _ as rest) ->
+                Option.get (Graph.edge_weight g a b) +. cost rest
+              | _ -> 0.0
+            in
+            if Float.abs (cost path -. Metric.dist m u v) > 1e-9 then
+              ok := false
+          end
+        done
+      done;
+      !ok)
+
+let prop_radius_of_size_minimal =
+  qcheck_case "metric: radius_of_size is tight" metric_gen (fun params ->
+      let m = metric_of params in
+      let n = Metric.n m in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let rec sizes s = if s <= n then s :: sizes (2 * s) else [] in
+        List.iter
+          (fun s ->
+            let r = Metric.radius_of_size m u s in
+            if Metric.ball_size m ~center:u ~radius:r < s then ok := false;
+            if r > 0.0 && Metric.ball_size m ~center:u ~radius:(r *. 0.999) >= s
+            then ok := false)
+          (sizes 1)
+      done;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "graph rejects bad edges" `Quick test_graph_rejects;
+    Alcotest.test_case "graph disconnected" `Quick test_graph_disconnected;
+    Alcotest.test_case "priority queue order" `Quick test_priority_queue;
+    Alcotest.test_case "dijkstra on a line" `Quick test_dijkstra_line;
+    Alcotest.test_case "dijkstra avoids heavy edge" `Quick
+      test_dijkstra_shortcut;
+    Alcotest.test_case "multi-source prefix closure" `Quick
+      test_multi_source_prefix_closed;
+    Alcotest.test_case "normalization" `Quick test_metric_normalization;
+    Alcotest.test_case "levels" `Quick test_metric_levels;
+    Alcotest.test_case "balls" `Quick test_metric_ball;
+    Alcotest.test_case "radius_of_size" `Quick test_radius_of_size;
+    Alcotest.test_case "nearest_k" `Quick test_nearest_k;
+    Alcotest.test_case "nearest_in tie-break" `Quick test_nearest_in_tie_break;
+    Alcotest.test_case "next_hop adjacency" `Quick test_next_hop;
+    Alcotest.test_case "bit accounting" `Quick test_bits;
+    Alcotest.test_case "doubling estimate on grid" `Quick test_doubling_grid;
+    Alcotest.test_case "doubling grows on hypercubes" `Quick
+      test_doubling_hypercube_grows;
+    prop_triangle_inequality;
+    prop_shortest_path_cost;
+    prop_radius_of_size_minimal ]
+
+let test_graph_io_roundtrip () =
+  let g =
+    Cr_metric.Graph.of_edges 4 [ (0, 1, 1.5); (1, 2, 0.25); (0, 3, 10.0) ]
+  in
+  let g' = Cr_metric.Graph_io.of_string (Cr_metric.Graph_io.to_string g) in
+  check_int "n" 4 (Cr_metric.Graph.n g');
+  check_int "m" 3 (Cr_metric.Graph.num_edges g');
+  check_float "weight preserved" 0.25
+    (Option.get (Cr_metric.Graph.edge_weight g' 1 2))
+
+let test_graph_io_rejects () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Graph_io.of_string: empty input") (fun () ->
+      ignore (Cr_metric.Graph_io.of_string "# nothing\n"));
+  Alcotest.check_raises "bad count"
+    (Invalid_argument
+       "Graph_io.of_string: line 1: expected a positive node count")
+    (fun () -> ignore (Cr_metric.Graph_io.of_string "zero\n"));
+  Alcotest.check_raises "bad edge"
+    (Invalid_argument "Graph_io.of_string: line 2: expected 'u v w'")
+    (fun () -> ignore (Cr_metric.Graph_io.of_string "3\n0 1\n"))
+
+let test_graph_io_files () =
+  let g = Cr_graphgen.Grid.square ~side:4 in
+  let path = Filename.temp_file "crgraph" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Cr_metric.Graph_io.save g path;
+      let g' = Cr_metric.Graph_io.load path in
+      check_int "file roundtrip n" 16 (Cr_metric.Graph.n g');
+      check_int "file roundtrip m" 24 (Cr_metric.Graph.num_edges g'))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "graph io roundtrip" `Quick test_graph_io_roundtrip;
+      Alcotest.test_case "graph io rejects" `Quick test_graph_io_rejects;
+      Alcotest.test_case "graph io files" `Quick test_graph_io_files ]

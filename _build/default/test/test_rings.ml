@@ -1,0 +1,145 @@
+(* Direct tests for the rings module (X_i(u), R(u)) — Section 4.1. *)
+
+open Helpers
+module Metric = Cr_metric.Metric
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Zoom = Cr_nets.Zoom
+module Rings = Cr_core.Rings
+
+let build ?(mode = Rings.Selected) m =
+  let h = Hierarchy.build m in
+  let nt = Netting_tree.build h in
+  (Rings.build nt ~epsilon:0.5 ~mode, nt, h)
+
+let test_effective_epsilon_clamped () =
+  let m = grid6 () in
+  let rings, _, _ = build m in
+  check_float "clamped to 1/6" (1.0 /. 6.0) (Rings.effective_epsilon rings);
+  let nt = Netting_tree.build (Hierarchy.build m) in
+  let tight = Rings.build nt ~epsilon:0.05 ~mode:Rings.Selected in
+  check_float "small eps kept" 0.05 (Rings.effective_epsilon tight)
+
+let test_all_levels_mode () =
+  let m = grid6 () in
+  let rings, _, h = build ~mode:Rings.All_levels m in
+  let top = Hierarchy.top_level h in
+  for u = 0 to Metric.n m - 1 do
+    Alcotest.(check (list int))
+      "R(u) = all levels"
+      (List.init (top + 1) Fun.id)
+      (Rings.selected_levels rings u)
+  done
+
+let test_selected_subset_of_all () =
+  let m = holey () in
+  let rings, _, h = build m in
+  let top = Hierarchy.top_level h in
+  for u = 0 to Metric.n m - 1 do
+    let levels = Rings.selected_levels rings u in
+    check_bool "levels sorted and in range" true
+      (List.sort compare levels = levels
+      && List.for_all (fun i -> i >= 0 && i <= top) levels);
+    check_bool "R(u) nonempty" true (levels <> []);
+    List.iter
+      (fun i -> check_bool "is_selected agrees" true (Rings.is_selected rings u ~level:i))
+      levels
+  done
+
+let test_ring_members_are_net_points_in_radius () =
+  let m = grid8 () in
+  let rings, _, h = build m in
+  let eps = Rings.effective_epsilon rings in
+  for u = 0 to Metric.n m - 1 do
+    List.iter
+      (fun level ->
+        let radius = Float.pow 2.0 (float_of_int level) /. eps in
+        List.iter
+          (fun x ->
+            check_bool "member in net" true (Hierarchy.mem h ~level x);
+            check_bool "member within ring radius" true
+              (Metric.dist m u x <= radius +. 1e-9))
+          (Rings.ring rings u ~level))
+      (Rings.selected_levels rings u)
+  done
+
+let test_find_cover_is_zoom_ancestor () =
+  (* the unique covering ring member at level i must be the destination's
+     zoom ancestor v(i) (by the netting-tree range property) *)
+  let m = grid6 () in
+  let rings, nt, h = build m in
+  let z = Zoom.build (Netting_tree.hierarchy nt) in
+  let n = Metric.n m in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let label = Netting_tree.label nt v in
+      List.iter
+        (fun level ->
+          match Rings.find_cover rings ~at:u ~level ~label with
+          | Some x -> check_int "cover = v(level)" (Zoom.step z v level) x
+          | None -> ())
+        (Rings.selected_levels rings u)
+    done
+  done;
+  ignore h
+
+let test_minimal_cover_level_minimality () =
+  let m = grid6 () in
+  let rings, nt, _ = build m in
+  let n = Metric.n m in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let label = Netting_tree.label nt v in
+      match Rings.minimal_cover_level rings ~at:u ~label with
+      | Some (level, x) ->
+        check_bool "witness covers" true
+          (Rings.find_cover rings ~at:u ~level ~label = Some x);
+        (* no smaller selected level covers *)
+        List.iter
+          (fun i ->
+            if i < level then
+              check_bool "minimality" true
+                (Rings.find_cover rings ~at:u ~level:i ~label = None))
+          (Rings.selected_levels rings u)
+      | None -> Alcotest.fail "cover must exist for reachable labels"
+    done
+  done
+
+let test_ring_errors () =
+  let m = grid6 () in
+  let rings, _, _ = build m in
+  (* level 3 may or may not be selected at node 0; find an unselected one *)
+  let unselected =
+    List.find_opt
+      (fun i -> not (Rings.is_selected rings 0 ~level:i))
+      (List.init 5 Fun.id)
+  in
+  match unselected with
+  | Some level ->
+    Alcotest.check_raises "ring on unselected level"
+      (Invalid_argument "Rings.ring: level not selected at this node")
+      (fun () -> ignore (Rings.ring rings 0 ~level))
+  | None -> ()  (* all levels selected on this tiny grid: nothing to check *)
+
+let test_table_bits_positive_and_additive () =
+  let m = holey () in
+  let rings, _, _ = build m in
+  for u = 0 to Metric.n m - 1 do
+    check_bool "bits positive" true (Rings.table_bits rings u > 0)
+  done
+
+let suite =
+  [ Alcotest.test_case "effective epsilon" `Quick
+      test_effective_epsilon_clamped;
+    Alcotest.test_case "all-levels mode" `Quick test_all_levels_mode;
+    Alcotest.test_case "selected levels valid" `Quick
+      test_selected_subset_of_all;
+    Alcotest.test_case "ring members valid" `Quick
+      test_ring_members_are_net_points_in_radius;
+    Alcotest.test_case "find_cover = zoom ancestor" `Quick
+      test_find_cover_is_zoom_ancestor;
+    Alcotest.test_case "minimal cover minimality" `Quick
+      test_minimal_cover_level_minimality;
+    Alcotest.test_case "ring errors" `Quick test_ring_errors;
+    Alcotest.test_case "table bits" `Quick
+      test_table_bits_positive_and_additive ]

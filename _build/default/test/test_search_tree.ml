@@ -1,0 +1,236 @@
+(* Tests for search trees (Definitions 3.2 / 4.2, Algorithms 1-2). *)
+
+open Helpers
+module Metric = Cr_metric.Metric
+module Search_tree = Cr_search.Search_tree
+module Tree = Cr_tree.Tree
+
+let ball_members m ~center ~radius = Metric.ball m ~center ~radius
+
+let build_plain m ~center ~radius ~pairs =
+  Search_tree.build m ~epsilon:0.5 ~center ~radius
+    ~members:(ball_members m ~center ~radius)
+    ~level_cap:None ~pairs ~universe:(Metric.n m)
+
+let test_spans_ball () =
+  let m = grid8 () in
+  let center = 27 and radius = 4.0 in
+  let st = build_plain m ~center ~radius ~pairs:[] in
+  Alcotest.(check (list int))
+    "tree nodes = ball" (ball_members m ~center ~radius)
+    (Search_tree.members st)
+
+let test_height_bound () =
+  (* Eqn (3): height <= (1 + O(eps)) r. *)
+  let m = grid8 () in
+  List.iter
+    (fun radius ->
+      let st = build_plain m ~center:27 ~radius ~pairs:[] in
+      check_bool
+        (Printf.sprintf "height at r=%g" radius)
+        true
+        (Search_tree.height_cost st <= 1.6 *. radius))
+    [ 2.0; 4.0; 8.0 ]
+
+let test_search_finds_all () =
+  let m = grid8 () in
+  let center = 27 and radius = 5.0 in
+  let members = ball_members m ~center ~radius in
+  let pairs = List.map (fun v -> (v * 3, v)) members in
+  let st =
+    Search_tree.build m ~epsilon:0.5 ~center ~radius ~members
+      ~level_cap:None ~pairs ~universe:(3 * Metric.n m)
+  in
+  List.iter
+    (fun v ->
+      let r = Search_tree.search st ~key:(v * 3) in
+      check_bool "found" true (r.Search_tree.data = Some v))
+    members
+
+let test_search_miss () =
+  let m = grid6 () in
+  let st = build_plain m ~center:14 ~radius:3.0 ~pairs:[ (5, 50); (9, 90) ] in
+  let r = Search_tree.search st ~key:7 in
+  check_bool "miss" true (r.Search_tree.data = None)
+
+let test_search_legs_roundtrip () =
+  (* Algorithm 2 reports back to the root: legs must start and end at the
+     center and be contiguous. *)
+  let m = grid8 () in
+  let center = 27 and radius = 5.0 in
+  let members = ball_members m ~center ~radius in
+  let pairs = List.map (fun v -> (v, v)) members in
+  let st =
+    Search_tree.build m ~epsilon:0.5 ~center ~radius ~members
+      ~level_cap:None ~pairs ~universe:(Metric.n m)
+  in
+  List.iter
+    (fun key ->
+      let r = Search_tree.search st ~key in
+      match r.Search_tree.legs with
+      | [] -> ()  (* stored at the root itself *)
+      | legs ->
+        let first = List.hd legs in
+        let last = List.nth legs (List.length legs - 1) in
+        check_int "starts at center" center first.Search_tree.src;
+        check_int "ends at center" center last.Search_tree.dst;
+        ignore
+          (List.fold_left
+             (fun pos (l : Search_tree.leg) ->
+               check_int "contiguous" pos l.Search_tree.src;
+               l.Search_tree.dst)
+             center legs))
+    (List.map fst pairs)
+
+let test_load_balanced () =
+  (* Algorithm 1: k pairs over m nodes -> ceil(k/m) pairs per node max. *)
+  let m = grid8 () in
+  let center = 27 and radius = 5.0 in
+  let members = ball_members m ~center ~radius in
+  let pairs = List.init 64 (fun i -> (i, i)) in
+  let st =
+    Search_tree.build m ~epsilon:0.5 ~center ~radius ~members
+      ~level_cap:None ~pairs ~universe:64
+  in
+  let bound =
+    (64 + List.length members - 1) / List.length members
+  in
+  List.iter
+    (fun v ->
+      check_bool "load bound" true (Search_tree.load st v <= bound))
+    members
+
+let test_degree_bounded () =
+  let m = grid8 () in
+  let st = build_plain m ~center:27 ~radius:6.0 ~pairs:[] in
+  (* Lemma 2.2-style bound: degree is a constant for fixed eps on a grid *)
+  check_bool "degree bounded" true (Search_tree.max_degree st <= 64)
+
+let test_capped_variant_chains () =
+  (* Force truncation with a tiny level cap on a wide ball: the capped tree
+     must still span the ball, mark chain edges, and search must still
+     find every pair. *)
+  let m = grid8 () in
+  let center = 27 and radius = 8.0 in
+  let members = ball_members m ~center ~radius in
+  let pairs = List.map (fun v -> (v, v + 1000)) members in
+  let st =
+    Search_tree.build m ~epsilon:0.5 ~center ~radius ~members
+      ~level_cap:(Some 1) ~pairs ~universe:2000
+  in
+  Alcotest.(check (list int)) "spans ball" members (Search_tree.members st);
+  let chained =
+    List.filter (fun v -> Search_tree.is_chained st v) members
+  in
+  check_bool "some chain edges exist" true (chained <> []);
+  List.iter
+    (fun v ->
+      let r = Search_tree.search st ~key:v in
+      check_bool "capped search finds" true (r.Search_tree.data = Some (v + 1000)))
+    members
+
+let test_chain_legs_have_fixed_cost () =
+  let m = grid8 () in
+  let center = 27 and radius = 8.0 in
+  let members = ball_members m ~center ~radius in
+  let pairs = List.map (fun v -> (v, v)) members in
+  let st =
+    Search_tree.build m ~epsilon:0.5 ~center ~radius ~members
+      ~level_cap:(Some 1) ~pairs ~universe:(Metric.n m)
+  in
+  let expected = 2.0 *. 0.5 *. radius /. float_of_int (Metric.n m) in
+  List.iter
+    (fun v ->
+      let r = Search_tree.search st ~key:v in
+      List.iter
+        (fun (l : Search_tree.leg) ->
+          match l.Search_tree.chained_cost with
+          | Some c -> check_float "chain cost 2 eps r / n" expected c
+          | None -> ())
+        r.Search_tree.legs)
+    members
+
+let test_duplicate_keys_rejected () =
+  let m = grid6 () in
+  Alcotest.check_raises "duplicate keys"
+    (Invalid_argument "Search_tree.build: duplicate keys") (fun () ->
+      ignore (build_plain m ~center:14 ~radius:3.0 ~pairs:[ (1, 1); (1, 2) ]))
+
+let test_small_ball_degenerate () =
+  (* eps * r below the minimum distance: the tree is a star on the ball. *)
+  let m = grid6 () in
+  let st = build_plain m ~center:14 ~radius:1.0 ~pairs:[ (3, 33) ] in
+  check_int "spans" 5 (List.length (Search_tree.members st));
+  let r = Search_tree.search st ~key:3 in
+  check_bool "finds" true (r.Search_tree.data = Some 33)
+
+let gen_params =
+  QCheck2.Gen.(
+    let* n = int_range 10 48 in
+    let* seed = int_range 0 5_000 in
+    let* center_pick = int_range 0 1000 in
+    let* radius = float_range 1.0 12.0 in
+    return (n, seed, center_pick, radius))
+
+let prop_search_total =
+  qcheck_case ~count:25 "search tree: every stored key is found" gen_params
+    (fun (n, seed, center_pick, radius) ->
+      let m = Metric.of_graph (Cr_graphgen.Geometric.knn ~n ~k:3 ~seed) in
+      let center = center_pick mod n in
+      let members = Metric.ball m ~center ~radius in
+      let pairs = List.map (fun v -> (v, v * 2)) members in
+      let st =
+        Search_tree.build m ~epsilon:0.4 ~center ~radius ~members
+          ~level_cap:None ~pairs ~universe:(2 * n)
+      in
+      List.for_all
+        (fun v ->
+          (Search_tree.search st ~key:v).Search_tree.data = Some (v * 2))
+        members)
+
+let prop_search_cost_bounded =
+  qcheck_case ~count:25 "search tree: leg cost <= 2(1+O(eps)) r" gen_params
+    (fun (n, seed, center_pick, radius) ->
+      let m = Metric.of_graph (Cr_graphgen.Geometric.knn ~n ~k:3 ~seed) in
+      let center = center_pick mod n in
+      let members = Metric.ball m ~center ~radius in
+      let pairs = List.map (fun v -> (v, v)) members in
+      let st =
+        Search_tree.build m ~epsilon:0.4 ~center ~radius ~members
+          ~level_cap:None ~pairs ~universe:n
+      in
+      List.for_all
+        (fun v ->
+          let r = Search_tree.search st ~key:v in
+          let cost =
+            List.fold_left
+              (fun acc (l : Search_tree.leg) ->
+                acc
+                +.
+                match l.Search_tree.chained_cost with
+                | Some c -> c
+                | None -> Metric.dist m l.Search_tree.src l.Search_tree.dst)
+              0.0 r.Search_tree.legs
+          in
+          cost <= 2.0 *. 1.6 *. radius +. 1e-9)
+        members)
+
+let suite =
+  [ Alcotest.test_case "spans ball" `Quick test_spans_ball;
+    Alcotest.test_case "height bound (Eqn 3)" `Quick test_height_bound;
+    Alcotest.test_case "search finds all pairs" `Quick test_search_finds_all;
+    Alcotest.test_case "search miss" `Quick test_search_miss;
+    Alcotest.test_case "legs roundtrip at root" `Quick
+      test_search_legs_roundtrip;
+    Alcotest.test_case "load balanced (Alg 1)" `Quick test_load_balanced;
+    Alcotest.test_case "degree bounded" `Quick test_degree_bounded;
+    Alcotest.test_case "capped variant chains (Def 4.2)" `Quick
+      test_capped_variant_chains;
+    Alcotest.test_case "chain legs fixed cost" `Quick
+      test_chain_legs_have_fixed_cost;
+    Alcotest.test_case "duplicate keys rejected" `Quick
+      test_duplicate_keys_rejected;
+    Alcotest.test_case "degenerate small ball" `Quick
+      test_small_ball_degenerate;
+    prop_search_total;
+    prop_search_cost_bounded ]

@@ -1,0 +1,141 @@
+(* Tests for the simulation layer: walker, workload, statistics. *)
+
+open Helpers
+module Metric = Cr_metric.Metric
+module Walker = Cr_sim.Walker
+module Workload = Cr_sim.Workload
+module Stats = Cr_sim.Stats
+module Scheme = Cr_sim.Scheme
+
+let test_walker_step () =
+  let m = grid6 () in
+  let w = Walker.create m ~start:0 ~max_hops:10 in
+  Walker.step w 1;
+  check_int "position" 1 (Walker.position w);
+  check_float "cost" 1.0 (Walker.cost w);
+  check_int "hops" 1 (Walker.hops w);
+  Alcotest.check_raises "not a neighbor"
+    (Invalid_argument "Walker.step: not a neighbor") (fun () ->
+      Walker.step w 35)
+
+let test_walker_shortest_path () =
+  let m = grid6 () in
+  let w = Walker.create m ~start:0 ~max_hops:100 in
+  Walker.walk_shortest_path w 35;
+  check_int "arrives" 35 (Walker.position w);
+  check_float "pays exactly the distance" (Metric.dist m 0 35) (Walker.cost w);
+  (* walking to the current position is free *)
+  Walker.walk_shortest_path w 35;
+  check_float "no extra cost" (Metric.dist m 0 35) (Walker.cost w)
+
+let test_walker_budget () =
+  let m = grid6 () in
+  let w = Walker.create m ~start:0 ~max_hops:3 in
+  Alcotest.check_raises "budget" Walker.Hop_budget_exhausted (fun () ->
+      Walker.walk_shortest_path w 35)
+
+let test_walker_teleport_and_charge () =
+  let m = grid6 () in
+  let w = Walker.create m ~start:0 ~max_hops:10 in
+  Walker.teleport w 20 ~cost:2.5;
+  check_int "teleported" 20 (Walker.position w);
+  check_float "teleport cost" 2.5 (Walker.cost w);
+  Walker.charge w 1.5;
+  check_float "charge adds" 4.0 (Walker.cost w);
+  check_int "charge keeps position" 20 (Walker.position w);
+  Alcotest.check_raises "negative charge"
+    (Invalid_argument "Walker.charge: negative cost") (fun () ->
+      Walker.charge w (-1.0))
+
+let test_all_pairs () =
+  let pairs = Workload.all_pairs 5 in
+  check_int "count" 20 (List.length pairs);
+  check_bool "no self pairs" true (List.for_all (fun (u, v) -> u <> v) pairs)
+
+let test_sample_pairs () =
+  let pairs = Workload.sample_pairs ~n:10 ~count:200 ~seed:3 in
+  check_int "count" 200 (List.length pairs);
+  check_bool "valid" true
+    (List.for_all
+       (fun (u, v) -> u <> v && u >= 0 && u < 10 && v >= 0 && v < 10)
+       pairs)
+
+let test_pairs_for_policy () =
+  check_int "small n exhaustive" 20 (List.length (Workload.pairs_for ~n:5 ~seed:1 ~budget:100));
+  check_int "large n sampled" 100
+    (List.length (Workload.pairs_for ~n:50 ~seed:1 ~budget:100))
+
+let test_namings () =
+  let naming = Workload.random_naming ~n:20 ~seed:9 in
+  let seen = Array.make 20 false in
+  Array.iter
+    (fun name ->
+      check_bool "name unique" false seen.(name);
+      seen.(name) <- true)
+    naming.Workload.name_of;
+  Array.iteri
+    (fun v name -> check_int "inverse" v naming.Workload.node_of.(name))
+    naming.Workload.name_of;
+  let id = Workload.identity_naming 5 in
+  check_int "identity" 3 id.Workload.name_of.(3)
+
+let test_stats_summarize () =
+  let s =
+    Stats.summarize [ (1.0, 2.0, 3); (2.0, 2.0, 1); (4.0, 4.0, 2) ]
+  in
+  check_int "count" 3 s.Stats.count;
+  check_float "max" 2.0 s.Stats.max_stretch;
+  check_float "avg" ((2.0 +. 1.0 +. 1.0) /. 3.0) s.Stats.avg_stretch;
+  check_float "max cost" 4.0 s.Stats.max_cost;
+  check_int "hops" 6 s.Stats.total_hops;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: no samples")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_measure_full_table () =
+  let m = grid6 () in
+  let s = Cr_baselines.Full_table.labeled m in
+  let summary = Stats.measure_labeled m s (Workload.all_pairs 36) in
+  check_float "stretch exactly 1" 1.0 summary.Stats.max_stretch
+
+let test_worst_pair () =
+  let m = ring16 () in
+  let s = Cr_baselines.Spanning_tree.labeled m ~root:0 in
+  let (u, v), stretch = Stats.worst_pair_labeled m s (Workload.all_pairs 16) in
+  (* the worst ring pair is the tree cut: neighbors 7-8 or 8-9 routed the
+     long way round (the SPT from 0 splits antipodally) *)
+  check_bool "worst stretch large" true (stretch >= 15.0);
+  check_bool "worst pair adjacent" true (abs (u - v) = 1 || abs (u - v) = 15)
+
+let prop_scheme_summaries =
+  qcheck_case ~count:20 "scheme summary helpers match direct folds"
+    QCheck2.Gen.(int_range 2 50)
+    (fun n ->
+      let s =
+        { Scheme.l_name = "test";
+          label = Fun.id;
+          route_to_label = (fun ~src:_ ~dest_label:_ -> { Scheme.cost = 0.; hops = 0 });
+          l_table_bits = (fun v -> v * 7);
+          l_label_bits = 1;
+          l_header_bits = 1 }
+      in
+      Scheme.max_table_bits s n = (n - 1) * 7
+      && Float.abs
+           (Scheme.avg_table_bits s n
+           -. (7.0 *. float_of_int (n - 1) /. 2.0))
+         < 1e-9)
+
+let suite =
+  [ Alcotest.test_case "walker step" `Quick test_walker_step;
+    Alcotest.test_case "walker shortest path" `Quick
+      test_walker_shortest_path;
+    Alcotest.test_case "walker budget" `Quick test_walker_budget;
+    Alcotest.test_case "walker teleport/charge" `Quick
+      test_walker_teleport_and_charge;
+    Alcotest.test_case "all pairs" `Quick test_all_pairs;
+    Alcotest.test_case "sample pairs" `Quick test_sample_pairs;
+    Alcotest.test_case "pairs_for policy" `Quick test_pairs_for_policy;
+    Alcotest.test_case "namings bijective" `Quick test_namings;
+    Alcotest.test_case "stats summarize" `Quick test_stats_summarize;
+    Alcotest.test_case "measure full table" `Quick test_measure_full_table;
+    Alcotest.test_case "worst pair on ring" `Quick test_worst_pair;
+    prop_scheme_summaries ]

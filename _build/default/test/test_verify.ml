@@ -1,0 +1,74 @@
+(* Tests for the invariant checkers: they must pass on correct structures
+   and actually fire on corrupted ones. *)
+
+open Helpers
+module Metric = Cr_metric.Metric
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Invariants = Cr_verify.Invariants
+module Search_tree = Cr_search.Search_tree
+
+let test_all_clean_on_fixtures () =
+  List.iter
+    (fun m ->
+      Alcotest.(check (list string))
+        "no findings" []
+        (List.map
+           (fun f -> Format.asprintf "%a" Invariants.pp f)
+           (Invariants.all m)))
+    [ grid6 (); holey (); ring16 (); expo12 (); geo48 () ]
+
+let test_hierarchy_check_fires () =
+  (* run the hierarchy check against the WRONG metric: a grid's nets are
+     not valid nets of a ring of the same size *)
+  let m_grid = grid6 () in
+  let m_ring = Metric.of_graph (Cr_graphgen.Path_like.ring ~n:36) in
+  let h = Hierarchy.build m_grid in
+  check_bool "mismatched metric detected" true
+    (Invariants.hierarchy m_ring h <> [])
+
+let test_netting_check_fires () =
+  let m_grid = grid6 () in
+  let m_ring = Metric.of_graph (Cr_graphgen.Path_like.ring ~n:36) in
+  let nt = Netting_tree.build (Hierarchy.build m_grid) in
+  check_bool "mismatched netting detected" true
+    (Invariants.netting_tree m_ring nt <> [])
+
+let test_search_tree_check_fires () =
+  (* report a radius much smaller than the tree's true extent *)
+  let m = grid8 () in
+  let members = Metric.ball m ~center:0 ~radius:10.0 in
+  let st =
+    Search_tree.build m ~epsilon:0.5 ~center:0 ~radius:10.0 ~members
+      ~level_cap:None
+      ~pairs:(List.map (fun v -> (v, v)) members)
+      ~universe:(Metric.n m)
+  in
+  check_bool "height violation detected" true
+    (Invariants.search_tree m st ~radius:1.0 <> []);
+  Alcotest.(check (list string))
+    "honest radius passes" []
+    (List.map
+       (fun f -> Format.asprintf "%a" Invariants.pp f)
+       (Invariants.search_tree m st ~radius:10.0))
+
+let test_finding_pp () =
+  let m_grid = grid6 () in
+  let m_ring = Metric.of_graph (Cr_graphgen.Path_like.ring ~n:36) in
+  let h = Hierarchy.build m_grid in
+  match Invariants.hierarchy m_ring h with
+  | f :: _ ->
+    let s = Format.asprintf "%a" Invariants.pp f in
+    check_bool "pp mentions the check" true
+      (String.length s > 10 && String.sub s 0 9 = "hierarchy")
+  | [] -> Alcotest.fail "expected findings"
+
+let suite =
+  [ Alcotest.test_case "all clean on fixtures" `Quick
+      test_all_clean_on_fixtures;
+    Alcotest.test_case "hierarchy check fires" `Quick
+      test_hierarchy_check_fires;
+    Alcotest.test_case "netting check fires" `Quick test_netting_check_fires;
+    Alcotest.test_case "search tree check fires" `Quick
+      test_search_tree_check_fires;
+    Alcotest.test_case "finding pretty-printing" `Quick test_finding_pp ]

@@ -21,6 +21,7 @@ let experiments =
     ("e13", "stability under failure", Exp_stability.run);
     ("e14", "replicated objects", Exp_replicas.run);
     ("e15", "relaxed guarantees", Exp_relaxed.run);
+    ("trace", "Figures 1-2 as machine-readable phase traces", Exp_trace.run);
     ("bechamel", "timing micro-benchmarks", Bech.run) ]
 
 let () =

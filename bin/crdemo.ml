@@ -191,7 +191,8 @@ let stats family scheme_kind epsilon seed pairs_budget =
       (Scheme.ni_avg_table_bits s n) s.Scheme.ni_header_bits);
   0
 
-(* trace: run one route and emit its trail as DOT or CSV *)
+(* trace: run one route and emit its trail (text/dot/csv) or its
+   phase-tagged event log (jsonl/chrome, via the Cr_obs layer). *)
 
 let trace family scheme_kind epsilon seed src dst format =
   let metric, nt = load family in
@@ -202,45 +203,59 @@ let trace family scheme_kind epsilon seed src dst format =
   end
   else begin
     let naming = Workload.random_naming ~n ~seed in
-    let w = Cr_sim.Walker.create metric ~start:src ~max_hops:1_000_000 in
-    (match build_scheme scheme_kind metric nt ~epsilon ~naming with
-    | `Labeled _ ->
-      (* drive the concrete scheme directly so the walker records the trail *)
-      (match scheme_kind with
+    (* drive the concrete scheme so the walker records trail and phases *)
+    let walk =
+      match scheme_kind with
       | Hier ->
         let t = Cr_core.Hier_labeled.build nt ~epsilon in
-        Cr_core.Hier_labeled.walk t w
-          ~dest_label:(Cr_core.Hier_labeled.label t dst)
+        fun w ->
+          Cr_core.Hier_labeled.walk t w
+            ~dest_label:(Cr_core.Hier_labeled.label t dst)
       | Sfl ->
         let t = Cr_core.Scale_free_labeled.build nt ~epsilon in
-        Cr_core.Scale_free_labeled.walk t w
-          ~dest_label:(Cr_core.Scale_free_labeled.label t dst)
-      | _ -> Cr_sim.Walker.walk_shortest_path w dst)
-    | `Name_independent _ ->
-      let dest_name = naming.Workload.name_of.(dst) in
-      (match scheme_kind with
+        fun w ->
+          Cr_core.Scale_free_labeled.walk t w
+            ~dest_label:(Cr_core.Scale_free_labeled.label t dst)
       | Simple ->
         let hl = Cr_core.Hier_labeled.build nt ~epsilon in
         let t =
           Cr_core.Simple_ni.build nt ~epsilon ~naming
             ~underlying:(Cr_core.Hier_labeled.to_underlying hl)
         in
-        Cr_core.Simple_ni.walk t w ~dest_name
-      | _ ->
+        fun w ->
+          Cr_core.Simple_ni.walk t w ~dest_name:naming.Workload.name_of.(dst)
+      | Sfni ->
         let sfl = Cr_core.Scale_free_labeled.build nt ~epsilon in
         let t =
           Cr_core.Scale_free_ni.build nt ~epsilon ~naming
             ~underlying:(Cr_core.Scale_free_labeled.to_underlying sfl)
         in
-        Cr_core.Scale_free_ni.walk t w ~dest_name));
-    let trail = Cr_sim.Walker.trail w in
+        fun w ->
+          Cr_core.Scale_free_ni.walk t w
+            ~dest_name:naming.Workload.name_of.(dst)
+      | Ft | St -> fun w -> Cr_sim.Walker.walk_shortest_path w dst
+    in
     (match format with
-    | "dot" -> print_string (Cr_sim.Export.dot_of_graph metric ~route:trail ())
-    | "csv" -> print_string (Cr_sim.Export.csv_of_route metric trail)
+    | "jsonl" | "chrome" ->
+      let captured =
+        Cr_core.Route_trace.capture metric ~max_hops:1_000_000 ~src ~dst
+          ~walk
+      in
+      if format = "jsonl" then
+        print_string (Cr_core.Route_trace.to_jsonl [ captured ])
+      else print_string (Cr_core.Route_trace.to_chrome [ captured ])
     | _ ->
-      Printf.printf "trail (%d hops, cost %.3f): %s\n"
-        (Cr_sim.Walker.hops w) (Cr_sim.Walker.cost w)
-        (String.concat " -> " (List.map string_of_int trail)));
+      let w = Cr_sim.Walker.create metric ~start:src ~max_hops:1_000_000 in
+      walk w;
+      let trail = Cr_sim.Walker.trail w in
+      (match format with
+      | "dot" ->
+        print_string (Cr_sim.Export.dot_of_graph metric ~route:trail ())
+      | "csv" -> print_string (Cr_sim.Export.csv_of_route metric trail)
+      | _ ->
+        Printf.printf "trail (%d hops, cost %.3f): %s\n"
+          (Cr_sim.Walker.hops w) (Cr_sim.Walker.cost w)
+          (String.concat " -> " (List.map string_of_int trail))));
     0
   end
 
@@ -314,10 +329,16 @@ let trace_cmd =
   let format =
     Arg.(
       value & opt string "text"
-      & info [ "format" ] ~docv:"FMT" ~doc:"Output: text, dot, or csv.")
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output: text, dot, csv, jsonl (phase-tagged event log), or \
+             chrome (trace_event JSON for chrome://tracing).")
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Route one packet and dump its trail (text/dot/csv)")
+    (Cmd.info "trace"
+       ~doc:
+         "Route one packet and dump its trail (text/dot/csv) or \
+          phase-tagged trace (jsonl/chrome)")
     Term.(
       const trace $ family_arg $ scheme_arg $ epsilon_arg $ seed_arg $ src
       $ dst $ format)

@@ -4,6 +4,7 @@ module Hierarchy = Cr_nets.Hierarchy
 module Netting_tree = Cr_nets.Netting_tree
 module Walker = Cr_sim.Walker
 module Scheme = Cr_sim.Scheme
+module Trace = Cr_obs.Trace
 
 type t = {
   nt : Netting_tree.t;
@@ -11,16 +12,26 @@ type t = {
   rings : Rings.t;
 }
 
-let build nt ~epsilon =
-  let h = Netting_tree.hierarchy nt in
-  let m = Hierarchy.metric h in
-  { nt; metric = m; rings = Rings.build nt ~epsilon ~mode:Rings.All_levels }
+let table_bits t v = Rings.table_bits t.rings v
+
+let build ?obs nt ~epsilon =
+  let ctx = Trace.resolve obs in
+  Trace.span ctx "hier_labeled.build" (fun () ->
+      let h = Netting_tree.hierarchy nt in
+      let m = Hierarchy.metric h in
+      let t =
+        { nt; metric = m;
+          rings = Rings.build nt ~epsilon ~mode:Rings.All_levels }
+      in
+      Scheme.table_counters ctx "hier_labeled" (table_bits t) (Metric.n m);
+      t)
 
 let label t v = Netting_tree.label t.nt v
 let rings t = t.rings
 let netting_tree t = t.nt
 
 let walk t w ~dest_label =
+  Walker.with_phase w Trace.Net_phase @@ fun () ->
   let dest = Netting_tree.node_of_label t.nt dest_label in
   while Walker.position w <> dest do
     let at = Walker.position w in
@@ -36,8 +47,6 @@ let walk t w ~dest_label =
          level 0 it would mean we already arrived. *)
       Walker.step w (Metric.next_hop t.metric ~src:at ~dst:x)
   done
-
-let table_bits t v = Rings.table_bits t.rings v
 
 let label_bits t = Bits.id_bits (Metric.n t.metric)
 

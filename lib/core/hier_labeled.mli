@@ -14,8 +14,10 @@
 
 type t
 
-(** [build nt ~epsilon] prepares the scheme over netting tree [nt]. *)
-val build : Cr_nets.Netting_tree.t -> epsilon:float -> t
+(** [build ?obs nt ~epsilon] prepares the scheme over netting tree [nt]
+    (traced as a [hier_labeled.build] span with table-size counters). *)
+val build :
+  ?obs:Cr_obs.Trace.context -> Cr_nets.Netting_tree.t -> epsilon:float -> t
 
 (** [label t v] is v's routing label (DFS leaf number). *)
 val label : t -> int -> int
@@ -27,7 +29,8 @@ val rings : t -> Rings.t
 val netting_tree : t -> Cr_nets.Netting_tree.t
 
 (** [walk t w ~dest_label] advances walker [w] from its current position to
-    the node labeled [dest_label]. *)
+    the node labeled [dest_label]. Hops are attributed to the
+    [Net_phase] trace phase unless an outer scheme already set one. *)
 val walk : t -> Cr_sim.Walker.t -> dest_label:int -> unit
 
 (** [table_bits t v] is the measured per-node storage in bits. *)

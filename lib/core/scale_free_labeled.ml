@@ -10,6 +10,7 @@ module Interval_routing = Cr_tree.Interval_routing
 module Search_tree = Cr_search.Search_tree
 module Walker = Cr_sim.Walker
 module Scheme = Cr_sim.Scheme
+module Trace = Cr_obs.Trace
 
 type level_info = {
   voronoi : Voronoi.t;
@@ -57,7 +58,28 @@ let charge_paths m st path_bits =
             (Metric.shortest_path m ~src:v ~dst:p))
     (Tree.nodes tree)
 
-let build nt ~epsilon =
+let table_bits t v =
+  let n = Metric.n t.metric in
+  let per_j =
+    Array.fold_left
+      (fun acc lv ->
+        let c = Voronoi.owner lv.voronoi v in
+        let router = Hashtbl.find lv.routers c in
+        acc + Bits.id_bits n (* center's local label l(c; c, j) *)
+        + Bits.id_bits n (* parent pointer in T_c(j) *)
+        + Interval_routing.table_bits router v)
+      0 t.levels_j
+  in
+  let search_bits =
+    List.fold_left
+      (fun acc st -> acc + Search_tree.table_bits st v)
+      0 t.trees_of.(v)
+  in
+  Rings.table_bits t.rings v + per_j + search_bits + t.path_bits.(v)
+
+let build ?obs nt ~epsilon =
+  let ctx = Trace.resolve obs in
+  Trace.span ctx "scale_free_labeled.build" @@ fun () ->
   let h = Netting_tree.hierarchy nt in
   let m = Hierarchy.metric h in
   let n = Metric.n m in
@@ -109,8 +131,21 @@ let build nt ~epsilon =
         { voronoi; routers; search })
       packings
   in
-  { nt; metric = m; rings; levels_j; trees_of; path_bits;
-    descent = Netting_descent.build nt; fallbacks = 0 }
+  let t =
+    { nt; metric = m; rings; levels_j; trees_of; path_bits;
+      descent = Netting_descent.build nt; fallbacks = 0 }
+  in
+  if Trace.enabled ctx then begin
+    Trace.counter ctx "scale_free_labeled.packing_scales"
+      (float_of_int (Array.length levels_j));
+    Trace.counter ctx "scale_free_labeled.search_trees"
+      (float_of_int
+         (Array.fold_left
+            (fun acc lv -> acc + Hashtbl.length lv.search)
+            0 levels_j));
+    Scheme.table_counters ctx "scale_free_labeled" (table_bits t) n
+  end;
+  t
 
 let label t v = Netting_tree.label t.nt v
 
@@ -138,7 +173,8 @@ let execute_search w st ~key =
 
 let fallback t w ~dest_label =
   t.fallbacks <- t.fallbacks + 1;
-  Netting_descent.walk t.descent w ~dest_label
+  Walker.with_phase w Trace.Fallback (fun () ->
+      Netting_descent.walk t.descent w ~dest_label)
 
 type phase_report = {
   exit_level : int;  (* i_t; -1 when the ring phase delivered directly *)
@@ -178,7 +214,9 @@ let walk ?(observe = fun (_ : phase_report) -> ()) t w ~dest_label =
         end
         else Some (Some i)
   in
-  match ring_phase max_int with
+  match
+    Walker.with_phase w Trace.Net_phase (fun () -> ring_phase max_int)
+  with
   | None ->
     (* arrived during the ring phase *)
     observe
@@ -199,11 +237,14 @@ let walk ?(observe = fun (_ : phase_report) -> ()) t w ~dest_label =
         climb ()
       end
     in
-    climb ();
+    Walker.with_phase w Trace.Voronoi_phase climb;
     let climb_cost = Walker.cost w -. start_cost -. ring_cost in
     (* Line 9: search tree II lookup of the local tree label. *)
     let st = Hashtbl.find lv.search c in
-    (match execute_search w st ~key:dest_label with
+    (match
+       Walker.with_phase w Trace.Search_tree_phase (fun () ->
+           execute_search w st ~key:dest_label)
+     with
     | Some local_label ->
       let search_cost =
         Walker.cost w -. start_cost -. ring_cost -. climb_cost
@@ -213,9 +254,10 @@ let walk ?(observe = fun (_ : phase_report) -> ()) t w ~dest_label =
       let path, _cost =
         Interval_routing.route router ~src:c ~dest_label:local_label
       in
-      (match path with
-      | [] -> ()
-      | _ :: rest -> List.iter (fun v -> Walker.step w v) rest);
+      Walker.with_phase w Trace.Voronoi_phase (fun () ->
+          match path with
+          | [] -> ()
+          | _ :: rest -> List.iter (fun v -> Walker.step w v) rest);
       if Walker.position w <> dest then fallback t w ~dest_label
       else
         observe
@@ -226,25 +268,6 @@ let walk ?(observe = fun (_ : phase_report) -> ()) t w ~dest_label =
     | None -> fallback t w ~dest_label)
 
 let fallback_count t = t.fallbacks
-
-let table_bits t v =
-  let n = Metric.n t.metric in
-  let per_j =
-    Array.fold_left
-      (fun acc lv ->
-        let c = Voronoi.owner lv.voronoi v in
-        let router = Hashtbl.find lv.routers c in
-        acc + Bits.id_bits n (* center's local label l(c; c, j) *)
-        + Bits.id_bits n (* parent pointer in T_c(j) *)
-        + Interval_routing.table_bits router v)
-      0 t.levels_j
-  in
-  let search_bits =
-    List.fold_left
-      (fun acc st -> acc + Search_tree.table_bits st v)
-      0 t.trees_of.(v)
-  in
-  Rings.table_bits t.rings v + per_j + search_bits + t.path_bits.(v)
 
 let label_bits t = Bits.id_bits (Metric.n t.metric)
 

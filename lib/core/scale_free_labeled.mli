@@ -23,8 +23,11 @@
 
 type t
 
-(** [build nt ~epsilon] precomputes all structures. *)
-val build : Cr_nets.Netting_tree.t -> epsilon:float -> t
+(** [build ?obs nt ~epsilon] precomputes all structures (traced as a
+    [scale_free_labeled.build] span with packing/search-tree/table-size
+    counters). *)
+val build :
+  ?obs:Cr_obs.Trace.context -> Cr_nets.Netting_tree.t -> epsilon:float -> t
 
 (** [label t v] is v's ceil(log n)-bit routing label (netting-tree DFS
     number). *)
@@ -44,7 +47,10 @@ type phase_report = {
 
 (** [walk t w ~dest_label] advances walker [w] to the node labeled
     [dest_label] following Algorithm 5; [observe] is called once on the
-    fast path (not on fallback). *)
+    fast path (not on fallback). Hops are trace-tagged with the Figure 2
+    phases: [Net_phase] (ring descent), [Voronoi_phase] (cell-tree climb
+    and tree-route), [Search_tree_phase] (search tree II lookup), and
+    [Fallback]. *)
 val walk :
   ?observe:(phase_report -> unit) -> t -> Cr_sim.Walker.t -> dest_label:int ->
   unit

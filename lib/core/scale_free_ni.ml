@@ -8,6 +8,7 @@ module Search_tree = Cr_search.Search_tree
 module Walker = Cr_sim.Walker
 module Scheme = Cr_sim.Scheme
 module Workload = Cr_sim.Workload
+module Trace = Cr_obs.Trace
 
 type packed_tree = {
   center : int;
@@ -38,9 +39,25 @@ type t = {
 
 let ni_effective_epsilon epsilon = Float.min epsilon 0.4
 
-let build nt ~epsilon ~naming ~underlying =
+let table_bits t v =
+  let n = Metric.n t.metric in
+  let level_bits = Bits.ceil_log2 (t.top + 2) in
+  let search_bits =
+    List.fold_left
+      (fun acc st -> acc + Search_tree.table_bits st v)
+      0 t.trees_of.(v)
+  in
+  let link_bits =
+    List.length t.h_links.(v) * (Bits.id_bits n + level_bits)
+  in
+  Bits.id_bits n + search_bits + link_bits
+  + t.underlying.Underlying.u_table_bits v
+
+let build ?obs nt ~epsilon ~naming ~underlying =
   if epsilon <= 0.0 || epsilon >= 1.0 then
     invalid_arg "Scale_free_ni.build: epsilon must be in (0, 1)";
+  let ctx = Trace.resolve obs in
+  Trace.span ctx "scale_free_ni.build" @@ fun () ->
   let h = Netting_tree.hierarchy nt in
   let m = Hierarchy.metric h in
   let n = Metric.n m in
@@ -140,8 +157,16 @@ let build nt ~epsilon ~naming ~underlying =
           Hashtbl.replace sites (i, u) (Local st))
       (Hierarchy.net h i)
   done;
-  { nt; metric = m; zoom = Zoom.build h; eps_eff; naming; underlying;
-    sites; trees_of; h_links; type_a = !type_a; type_b; top }
+  let t =
+    { nt; metric = m; zoom = Zoom.build h; eps_eff; naming; underlying;
+      sites; trees_of; h_links; type_a = !type_a; type_b; top }
+  in
+  if Trace.enabled ctx then begin
+    Trace.counter ctx "scale_free_ni.type_a_trees" (float_of_int !type_a);
+    Trace.counter ctx "scale_free_ni.type_b_trees" (float_of_int type_b);
+    Scheme.table_counters ctx "scale_free_ni" (table_bits t) n
+  end;
+  t
 
 let execute_search t w st ~key =
   let result = Search_tree.search st ~key in
@@ -184,17 +209,23 @@ let walk ?(observe = fun (_ : level_report) -> ()) t w ~dest_name =
     else begin
       let hub = Zoom.step t.zoom src i in
       let before_climb = Walker.cost w in
-      t.underlying.Underlying.u_walk w
-        ~dest_label:(t.underlying.Underlying.u_label hub);
+      Walker.with_phase w (Trace.Zoom i) (fun () ->
+          t.underlying.Underlying.u_walk w
+            ~dest_label:(t.underlying.Underlying.u_label hub));
       let before_search = Walker.cost w in
-      let result = search t w ~hub ~level:i ~key:dest_name in
+      let result =
+        Walker.with_phase w (Trace.Ball_search i) (fun () ->
+            search t w ~hub ~level:i ~key:dest_name)
+      in
       observe
         { level = i; hub;
           climb_cost = before_search -. before_climb;
           search_cost = Walker.cost w -. before_search;
           found = result <> None };
       match result with
-      | Some dest_label -> t.underlying.Underlying.u_walk w ~dest_label
+      | Some dest_label ->
+        Walker.with_phase w Trace.Deliver (fun () ->
+            t.underlying.Underlying.u_walk w ~dest_label)
       | None -> attempt (i + 1)
     end
   in
@@ -224,20 +255,6 @@ let trees_containing t v = List.length t.trees_of.(v)
 
 let h_link_balls t u =
   List.map (fun (i, pt) -> (i, pt.scale, pt.center)) t.h_links.(u)
-
-let table_bits t v =
-  let n = Metric.n t.metric in
-  let level_bits = Bits.ceil_log2 (t.top + 2) in
-  let search_bits =
-    List.fold_left
-      (fun acc st -> acc + Search_tree.table_bits st v)
-      0 t.trees_of.(v)
-  in
-  let link_bits =
-    List.length t.h_links.(v) * (Bits.id_bits n + level_bits)
-  in
-  Bits.id_bits n + search_bits + link_bits
-  + t.underlying.Underlying.u_table_bits v
 
 let header_bits t =
   let n = Metric.n t.metric in

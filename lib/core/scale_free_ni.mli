@@ -27,6 +27,7 @@ type t
     scheme as [underlying]). Radii use effective epsilon min(eps, 2/5), as
     in Theorem 1.4. *)
 val build :
+  ?obs:Cr_obs.Trace.context ->
   Cr_nets.Netting_tree.t ->
   epsilon:float ->
   naming:Cr_sim.Workload.naming ->
@@ -43,7 +44,8 @@ type level_report = Simple_ni.level_report = {
 }
 
 (** [walk t w ~dest_name] drives walker [w] to the node named [dest_name];
-    [observe] is called once per visited level. *)
+    [observe] is called once per visited level. Hops are trace-tagged
+    [Zoom i] / [Ball_search i] / [Deliver], as in {!Simple_ni.walk}. *)
 val walk :
   ?observe:(level_report -> unit) -> t -> Cr_sim.Walker.t -> dest_name:int ->
   unit

@@ -7,6 +7,7 @@ module Search_tree = Cr_search.Search_tree
 module Walker = Cr_sim.Walker
 module Scheme = Cr_sim.Scheme
 module Workload = Cr_sim.Workload
+module Trace = Cr_obs.Trace
 
 type t = {
   nt : Netting_tree.t;
@@ -23,9 +24,21 @@ type t = {
 
 let ni_effective_epsilon epsilon = Float.min epsilon 0.4
 
-let build ?(min_level = 0) nt ~epsilon ~naming ~underlying =
+let table_bits t v =
+  let n = Metric.n t.metric in
+  let search_bits =
+    List.fold_left
+      (fun acc st -> acc + Search_tree.table_bits st v)
+      0 t.trees_of.(v)
+  in
+  (* netting-tree parent label + directories + underlying labeled tables *)
+  Bits.id_bits n + search_bits + t.underlying.Underlying.u_table_bits v
+
+let build ?obs ?(min_level = 0) nt ~epsilon ~naming ~underlying =
   if epsilon <= 0.0 || epsilon >= 1.0 then
     invalid_arg "Simple_ni.build: epsilon must be in (0, 1)";
+  let ctx = Trace.resolve obs in
+  Trace.span ctx "simple_ni.build" @@ fun () ->
   let h = Netting_tree.hierarchy nt in
   let m = Hierarchy.metric h in
   let n = Metric.n m in
@@ -53,8 +66,16 @@ let build ?(min_level = 0) nt ~epsilon ~naming ~underlying =
         List.iter (fun v -> trees_of.(v) <- st :: trees_of.(v)) members)
       (Hierarchy.net h i)
   done;
-  { nt; metric = m; zoom = Zoom.build h; eps_eff; naming; underlying;
-    trees; trees_of; min_level; top }
+  let t =
+    { nt; metric = m; zoom = Zoom.build h; eps_eff; naming; underlying;
+      trees; trees_of; min_level; top }
+  in
+  if Trace.enabled ctx then begin
+    Trace.counter ctx "simple_ni.search_trees"
+      (float_of_int (Hashtbl.length trees));
+    Scheme.table_counters ctx "simple_ni" (table_bits t) n
+  end;
+  t
 
 (* Execute a search's virtual-edge trail: every leg endpoint holds the
    other's routing label, so each leg is one underlying labeled route. *)
@@ -86,18 +107,24 @@ let walk ?(observe = fun (_ : level_report) -> ()) t w ~dest_name =
     else begin
       let hub = Zoom.step t.zoom src i in
       let before_climb = Walker.cost w in
-      t.underlying.Underlying.u_walk w
-        ~dest_label:(t.underlying.Underlying.u_label hub);
+      Walker.with_phase w (Trace.Zoom i) (fun () ->
+          t.underlying.Underlying.u_walk w
+            ~dest_label:(t.underlying.Underlying.u_label hub));
       let before_search = Walker.cost w in
       let st = Hashtbl.find t.trees (i, hub) in
-      let result = execute_search t w st ~key:dest_name in
+      let result =
+        Walker.with_phase w (Trace.Ball_search i) (fun () ->
+            execute_search t w st ~key:dest_name)
+      in
       observe
         { level = i; hub;
           climb_cost = before_search -. before_climb;
           search_cost = Walker.cost w -. before_search;
           found = result <> None };
       match result with
-      | Some dest_label -> t.underlying.Underlying.u_walk w ~dest_label
+      | Some dest_label ->
+        Walker.with_phase w Trace.Deliver (fun () ->
+            t.underlying.Underlying.u_walk w ~dest_label)
       | None -> attempt (i + 1)
     end
   in
@@ -115,16 +142,6 @@ let found_level t ~src ~dest_name =
       | None -> attempt (i + 1)
   in
   attempt t.min_level
-
-let table_bits t v =
-  let n = Metric.n t.metric in
-  let search_bits =
-    List.fold_left
-      (fun acc st -> acc + Search_tree.table_bits st v)
-      0 t.trees_of.(v)
-  in
-  (* netting-tree parent label + directories + underlying labeled tables *)
-  Bits.id_bits n + search_bits + t.underlying.Underlying.u_table_bits v
 
 let header_bits t =
   let n = Metric.n t.metric in

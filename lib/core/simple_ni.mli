@@ -28,6 +28,7 @@ type t
     worse stretch exactly for nearby pairs (a bounded fraction of
     source-destination pairs) — measured in experiment E15. *)
 val build :
+  ?obs:Cr_obs.Trace.context ->
   ?min_level:int ->
   Cr_nets.Netting_tree.t ->
   epsilon:float ->
@@ -47,7 +48,9 @@ type level_report = {
 }
 
 (** [walk t w ~dest_name] drives walker [w] to the node named [dest_name]
-    (Algorithm 3); [observe] is called once per visited level. *)
+    (Algorithm 3); [observe] is called once per visited level. Hops are
+    trace-tagged [Zoom i] (climb to the level-[i] hub), [Ball_search i]
+    (SearchTree round trip) and [Deliver] (final labeled descent). *)
 val walk :
   ?observe:(level_report -> unit) -> t -> Cr_sim.Walker.t -> dest_name:int ->
   unit

@@ -12,31 +12,40 @@ let net_radius i = Float.pow 2.0 (float_of_int i)
 
 let all_nodes n = List.init n Fun.id
 
-let build m =
-  let n = Metric.n m in
-  let top_level = Metric.levels m in
-  let nets = Array.make (top_level + 1) [] in
-  nets.(top_level) <- [ 0 ];
-  for i = top_level - 1 downto 1 do
-    nets.(i) <-
-      Rnet.greedy m ~r:(net_radius i) ~candidates:(all_nodes n)
-        ~seed:nets.(i + 1)
-  done;
-  nets.(0) <- all_nodes n;
-  let member =
-    Array.map
-      (fun net ->
-        let flags = Array.make n false in
-        List.iter (fun v -> flags.(v) <- true) net;
-        flags)
-      nets
-  in
-  let nearest =
-    Array.map
-      (fun net -> Array.init n (fun v -> Metric.nearest_in m v net))
-      nets
-  in
-  { metric = m; top_level; nets; member; nearest }
+let build ?obs m =
+  let ctx = Cr_obs.Trace.resolve obs in
+  Cr_obs.Trace.span ctx "hierarchy.build" (fun () ->
+      let n = Metric.n m in
+      let top_level = Metric.levels m in
+      let nets = Array.make (top_level + 1) [] in
+      nets.(top_level) <- [ 0 ];
+      for i = top_level - 1 downto 1 do
+        nets.(i) <-
+          Rnet.greedy m ~r:(net_radius i) ~candidates:(all_nodes n)
+            ~seed:nets.(i + 1)
+      done;
+      nets.(0) <- all_nodes n;
+      let member =
+        Array.map
+          (fun net ->
+            let flags = Array.make n false in
+            List.iter (fun v -> flags.(v) <- true) net;
+            flags)
+          nets
+      in
+      let nearest =
+        Array.map
+          (fun net -> Array.init n (fun v -> Metric.nearest_in m v net))
+          nets
+      in
+      if Cr_obs.Trace.enabled ctx then begin
+        Cr_obs.Trace.counter ctx "hierarchy.levels"
+          (float_of_int (top_level + 1));
+        Cr_obs.Trace.counter ctx "hierarchy.net_points"
+          (float_of_int
+             (Array.fold_left (fun acc l -> acc + List.length l) 0 nets))
+      end;
+      { metric = m; top_level; nets; member; nearest })
 
 let metric h = h.metric
 let top_level h = h.top_level

@@ -11,8 +11,10 @@
 
 type t
 
-(** [build m] constructs the hierarchy for metric [m]. *)
-val build : Cr_metric.Metric.t -> t
+(** [build ?obs m] constructs the hierarchy for metric [m], under an
+    [hierarchy.build] span with level/net-point counters when [obs] (or
+    the global trace context) is enabled. *)
+val build : ?obs:Cr_obs.Trace.context -> Cr_metric.Metric.t -> t
 
 (** [metric h] is the underlying metric. *)
 val metric : t -> Cr_metric.Metric.t

@@ -11,7 +11,9 @@ type t = {
 
 let absent = { lo = -1; hi = -1 }
 
-let build h =
+let build ?obs h =
+  Cr_obs.Trace.span (Cr_obs.Trace.resolve obs) "netting_tree.build"
+  @@ fun () ->
   let m = Hierarchy.metric h in
   let n = Cr_metric.Metric.n m in
   let top = Hierarchy.top_level h in

@@ -14,8 +14,9 @@ type t
 
 type range = { lo : int; hi : int }
 
-(** [build h] assembles the tree, labels, and ranges for hierarchy [h]. *)
-val build : Hierarchy.t -> t
+(** [build ?obs h] assembles the tree, labels, and ranges for hierarchy
+    [h] (traced as a [netting_tree.build] span). *)
+val build : ?obs:Cr_obs.Trace.context -> Hierarchy.t -> t
 
 (** [hierarchy t] is the underlying net hierarchy. *)
 val hierarchy : t -> Hierarchy.t

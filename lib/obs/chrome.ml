@@ -1,0 +1,91 @@
+(* Chrome trace_event exporter (chrome://tracing, Perfetto).
+
+   Two kinds of timeline coexist, on separate thread lanes of pid 1:
+   - spans and counters live on tid 0 and use the context clock (seconds,
+     converted to microseconds);
+   - route events live on tid 1, 2, ... (one lane per route, a new lane
+     starting at each "route..." mark) and use the walker's *cumulative
+     cost* as their clock, scaled by [cost_scale] microseconds per unit of
+     cost — so the route lane reads as the paper's execution trace, each
+     block a hop labeled with its phase. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fl = Sinks.json_float
+
+let to_string ?(cost_scale = 1000.0) events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let add line =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf line
+  in
+  let route_tid = ref 1 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      let ts = fl (ev.ts *. 1e6) in
+      match ev.body with
+      | Trace.Span_open { name } ->
+        add
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"build\",\"ph\":\"B\",\"pid\":1,\
+              \"tid\":0,\"ts\":%s}"
+             (escape name) ts)
+      | Trace.Span_close { name } ->
+        add
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"build\",\"ph\":\"E\",\"pid\":1,\
+              \"tid\":0,\"ts\":%s}"
+             (escape name) ts)
+      | Trace.Counter { name; value } ->
+        add
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\",\"pid\":1,\
+              \"tid\":0,\"ts\":%s,\"args\":{\"value\":%s}}"
+             (escape name) ts (fl value))
+      | Trace.Mark { name } ->
+        if String.length name >= 5 && String.sub name 0 5 = "route" then
+          incr route_tid;
+        add
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"mark\",\"ph\":\"i\",\"pid\":1,\
+              \"tid\":%d,\"ts\":%s,\"s\":\"t\"}"
+             (escape name) !route_tid ts)
+      | Trace.Hop { kind; src; dst; cost; total; phase } ->
+        let name =
+          match Trace.phase_level phase with
+          | Some l -> Printf.sprintf "%s[%d]" (Trace.phase_label phase) l
+          | None -> Trace.phase_label phase
+        in
+        add
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"route\",\"ph\":\"X\",\"pid\":1,\
+              \"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"kind\":\"%s\",\
+              \"src\":%d,\"dst\":%d,\"cost\":%s}}"
+             (escape name) !route_tid
+             (fl ((total -. cost) *. cost_scale))
+             (fl (cost *. cost_scale))
+             (Trace.hop_kind_label kind)
+             src dst (fl cost))
+      | Trace.Message { node; round; time } ->
+        add
+          (Printf.sprintf
+             "{\"name\":\"deliver\",\"cat\":\"proto\",\"ph\":\"i\",\"pid\":2,\
+              \"tid\":%d,\"ts\":%s,\"s\":\"t\",\"args\":{\"round\":%d}}"
+             node
+             (fl (time *. cost_scale))
+             round))
+    events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Chrome [trace_event] JSON exporter (load in chrome://tracing or
+    Perfetto).
+
+    Spans and counters render on one lane against the context clock; each
+    route renders on its own lane against a {e cost} timeline — every hop
+    is a block whose width is its cost and whose name is its phase tag, the
+    machine-readable analog of the paper's Figures 1 and 2. Protocol
+    message deliveries render as instants on pid 2, one lane per node.
+
+    [cost_scale] is microseconds of trace time per unit of route cost /
+    protocol delay (default 1000.0, i.e. one cost unit displays as 1ms). *)
+val to_string : ?cost_scale:float -> Trace.event list -> string

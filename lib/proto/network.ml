@@ -1,4 +1,5 @@
 module Graph = Cr_metric.Graph
+module Trace = Cr_obs.Trace
 
 type 'msg envelope = {
   dst : int;
@@ -10,6 +11,9 @@ type ('msg, 'state) t = {
   states : 'state array;
   queue : 'msg envelope Pqueue.t;
   jitter : (int64 ref * float) option;
+  obs : Trace.context;
+  deliveries : int array;  (* messages delivered per node *)
+  rounds : (int, int) Hashtbl.t;  (* floor(delivery time) -> deliveries *)
   mutable seq : int;
   mutable now : float;
   mutable messages : int;
@@ -34,7 +38,7 @@ let splitmix state =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ?jitter graph ~init =
+let create ?obs ?jitter graph ~init =
   { graph;
     states = Array.init (Graph.n graph) init;
     queue = Pqueue.create ();
@@ -45,6 +49,9 @@ let create ?jitter graph ~init =
             invalid_arg "Network.create: negative jitter magnitude";
           (ref (Int64.of_int (seed + 1)), magnitude))
         jitter;
+    obs = Trace.resolve obs;
+    deliveries = Array.make (Graph.n graph) 0;
+    rounds = Hashtbl.create 64;
     seq = 0;
     now = 0.0;
     messages = 0;
@@ -62,6 +69,11 @@ let perturb t delay =
 
 let state t v = t.states.(v)
 
+let deliveries t = Array.copy t.deliveries
+
+let round_histogram t =
+  List.sort compare (Hashtbl.fold (fun r c acc -> (r, c) :: acc) t.rounds [])
+
 let enqueue t ~time ~dst payload =
   Pqueue.push t.queue ~time ~seq:t.seq { dst; payload };
   t.seq <- t.seq + 1
@@ -76,6 +88,13 @@ let run t ~handler ~max_messages =
     t.makespan <- Float.max t.makespan time;
     if t.messages > max_messages then
       failwith "Network.run: message budget exhausted";
+    t.deliveries.(dst) <- t.deliveries.(dst) + 1;
+    let round = int_of_float (Float.floor time) in
+    (match Hashtbl.find_opt t.rounds round with
+    | Some c -> Hashtbl.replace t.rounds round (c + 1)
+    | None -> Hashtbl.add t.rounds round 1);
+    if Trace.enabled t.obs then
+      Trace.message t.obs ~node:dst ~round ~time;
     let send neighbor msg =
       match Graph.edge_weight t.graph dst neighbor with
       | None -> invalid_arg "Network.send: not a neighbor"
@@ -84,4 +103,8 @@ let run t ~handler ~max_messages =
     t.states.(dst) <-
       handler { now = time; send } ~self:dst t.states.(dst) payload
   done;
+  if Trace.enabled t.obs then begin
+    Trace.counter t.obs "network.messages" (float_of_int t.messages);
+    Trace.counter t.obs "network.makespan" t.makespan
+  end;
   { messages = t.messages; makespan = t.makespan }

@@ -31,13 +31,25 @@ type stats = {
     asynchronous model guarantees only eventual delivery, so protocol
     *outcomes* must not depend on timing — the test suite runs the
     constructions under several jitter schedules and asserts identical
-    results. *)
+    results. [obs] (default: the global trace context) receives one
+    [Message] event per delivery and, at quiescence, [network.messages]
+    and [network.makespan] counters. *)
 val create :
-  ?jitter:int * float -> Cr_metric.Graph.t -> init:(int -> 'state) ->
-  ('msg, 'state) t
+  ?obs:Cr_obs.Trace.context -> ?jitter:int * float -> Cr_metric.Graph.t ->
+  init:(int -> 'state) -> ('msg, 'state) t
 
 (** [state t v] reads a node's current state. *)
 val state : ('msg, 'state) t -> int -> 'state
+
+(** [deliveries t] is a copy of the per-node delivered-message counts
+    accumulated so far — the load-balance view of a protocol run. *)
+val deliveries : ('msg, 'state) t -> int array
+
+(** [round_histogram t] buckets deliveries by protocol round, where round
+    r collects the deliveries with time in [r, r+1) — for unit edge
+    weights this is exactly the synchronous round structure. Sorted by
+    round. *)
+val round_histogram : ('msg, 'state) t -> (int * int) list
 
 (** [inject t ~dst msg] enqueues an external message (delivered at the
     current simulation time; used to kick off protocols). *)

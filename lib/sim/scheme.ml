@@ -37,6 +37,16 @@ let summarize_avg bits n =
   done;
   float_of_int !total /. float_of_int n
 
+(* Build-time table-size counters: emitted only when a trace context is
+   live, so untraced builds skip the O(n) sweep. *)
+let table_counters ctx name bits n =
+  if Cr_obs.Trace.enabled ctx then begin
+    Cr_obs.Trace.counter ctx
+      (name ^ ".table_bits.max")
+      (float_of_int (summarize_max bits n));
+    Cr_obs.Trace.counter ctx (name ^ ".table_bits.avg") (summarize_avg bits n)
+  end
+
 let max_table_bits s n = summarize_max s.l_table_bits n
 let avg_table_bits s n = summarize_avg s.l_table_bits n
 let ni_max_table_bits s n = summarize_max s.ni_table_bits n

@@ -26,6 +26,12 @@ type name_independent = {
   ni_header_bits : int;
 }
 
+(** [table_counters ctx name bits n] emits [name.table_bits.max] and
+    [name.table_bits.avg] counters over nodes [0..n-1]; a no-op (skipping
+    the O(n) sweep) when [ctx] is disabled. Used by scheme constructors. *)
+val table_counters :
+  Cr_obs.Trace.context -> string -> (int -> int) -> int -> unit
+
 (** [route_labeled s ~src ~dst] looks up [dst]'s label and routes to it. *)
 val route_labeled : labeled -> src:int -> dst:int -> outcome
 

@@ -23,7 +23,12 @@ let summarize samples =
   let arr = Array.of_list stretches in
   Array.sort compare arr;
   let count = Array.length arr in
-  let pct p = arr.(min (count - 1) (int_of_float (p *. float_of_int count))) in
+  (* Standard nearest-rank percentile: rank = ceil(p * count), 1-indexed.
+     The previous floor-based index aliased p99 to max on small samples. *)
+  let pct p =
+    let rank = int_of_float (Float.ceil (p *. float_of_int count)) - 1 in
+    arr.(max 0 (min (count - 1) rank))
+  in
   { count;
     max_stretch = arr.(count - 1);
     avg_stretch = Array.fold_left ( +. ) 0.0 arr /. float_of_int count;

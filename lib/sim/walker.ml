@@ -1,5 +1,6 @@
 module Metric = Cr_metric.Metric
 module Graph = Cr_metric.Graph
+module Trace = Cr_obs.Trace
 
 exception Hop_budget_exhausted
 
@@ -10,17 +11,34 @@ type t = {
   mutable hops : int;
   mutable trail : int list;  (* visited nodes, most recent first *)
   max_hops : int;
+  obs : Trace.context;
+  mutable phase : Trace.phase;
 }
 
-let create m ~start ~max_hops =
+let create ?obs m ~start ~max_hops =
   if start < 0 || start >= Metric.n m then
     invalid_arg "Walker.create: start out of range";
   { metric = m; position = start; cost = 0.0; hops = 0; trail = [ start ];
-    max_hops }
+    max_hops; obs = Trace.resolve obs; phase = Trace.Unphased }
 
 let position w = w.position
 let cost w = w.cost
 let hops w = w.hops
+let obs w = w.obs
+
+let phase w = w.phase
+let set_phase w p = w.phase <- p
+
+(* Outer-wins phase scoping: a scheme running as a subroutine of another
+   (an underlying labeled scheme inside a name-independent search) must not
+   re-tag hops the outer scheme already attributed — so the phase applies
+   only when entering from [Unphased]. *)
+let with_phase w p f =
+  if w.phase <> Trace.Unphased then f ()
+  else begin
+    w.phase <- p;
+    Fun.protect ~finally:(fun () -> w.phase <- Trace.Unphased) f
+  end
 
 let spend w =
   w.hops <- w.hops + 1;
@@ -31,9 +49,13 @@ let step w v =
   | None -> invalid_arg "Walker.step: not a neighbor"
   | Some weight ->
     spend w;
+    let src = w.position in
     w.position <- v;
     w.trail <- v :: w.trail;
-    w.cost <- w.cost +. weight
+    w.cost <- w.cost +. weight;
+    if Trace.enabled w.obs then
+      Trace.hop w.obs ~kind:Trace.Edge ~src ~dst:v ~cost:weight ~total:w.cost
+        ~phase:w.phase
 
 let walk_shortest_path w dst =
   if dst <> w.position then
@@ -45,13 +67,20 @@ let walk_shortest_path w dst =
 let charge w c =
   if c < 0.0 then invalid_arg "Walker.charge: negative cost";
   spend w;
-  w.cost <- w.cost +. c
+  w.cost <- w.cost +. c;
+  if Trace.enabled w.obs then
+    Trace.hop w.obs ~kind:Trace.Virtual ~src:w.position ~dst:w.position
+      ~cost:c ~total:w.cost ~phase:w.phase
 
 let teleport w v ~cost =
   if cost < 0.0 then invalid_arg "Walker.teleport: negative cost";
   spend w;
+  let src = w.position in
   w.position <- v;
   w.trail <- v :: w.trail;
-  w.cost <- w.cost +. cost
+  w.cost <- w.cost +. cost;
+  if Trace.enabled w.obs then
+    let phase = if w.phase = Trace.Unphased then Trace.Teleport else w.phase in
+    Trace.hop w.obs ~kind:Trace.Jump ~src ~dst:v ~cost ~total:w.cost ~phase
 
 let trail w = List.rev w.trail

@@ -9,8 +9,27 @@ type t
 
 exception Hop_budget_exhausted
 
-(** [create m ~start ~max_hops] places a packet at [start]. *)
-val create : Cr_metric.Metric.t -> start:int -> max_hops:int -> t
+(** [create ?obs m ~start ~max_hops] places a packet at [start]. [obs]
+    (default: the {!Cr_obs.Trace} global context) receives one route event
+    per step/charge/teleport, tagged with the current {!phase}. *)
+val create :
+  ?obs:Cr_obs.Trace.context -> Cr_metric.Metric.t -> start:int ->
+  max_hops:int -> t
+
+(** [obs w] is the walker's observability context. *)
+val obs : t -> Cr_obs.Trace.context
+
+(** [phase w] is the paper phase hops are currently attributed to
+    ([Unphased] until a scheme sets one). *)
+val phase : t -> Cr_obs.Trace.phase
+
+val set_phase : t -> Cr_obs.Trace.phase -> unit
+
+(** [with_phase w p f] runs [f] with hops attributed to [p] — unless a
+    phase is already active, in which case the outer attribution wins (an
+    underlying labeled scheme running inside a name-independent search
+    keeps the search's tag). The phase is restored even if [f] raises. *)
+val with_phase : t -> Cr_obs.Trace.phase -> (unit -> 'a) -> 'a
 
 (** [position w] is the packet's current node. *)
 val position : t -> int

@@ -15,6 +15,7 @@ let () =
       ("lowerbound", Test_lowerbound.suite);
       ("location", Test_location.suite);
       ("proto", Test_proto.suite);
+      ("obs", Test_obs.suite);
       ("export", Test_export.suite);
       ("codec", Test_codec.suite);
       ("verify", Test_verify.suite);

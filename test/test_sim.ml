@@ -91,6 +91,26 @@ let test_stats_summarize () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: no samples")
     (fun () -> ignore (Stats.summarize []))
 
+let test_stats_percentiles () =
+  (* 100 samples with stretch k = 1..100: nearest-rank gives
+     p50 = ceil(0.50 * 100) = 50th value and p99 = ceil(0.99 * 100) = 99th
+     value — notably p99 is NOT the max. *)
+  let samples =
+    List.init 100 (fun i -> (1.0, float_of_int (i + 1), 0))
+  in
+  let s = Stats.summarize samples in
+  check_float "p50 of 1..100" 50.0 s.Stats.p50_stretch;
+  check_float "p99 of 1..100" 99.0 s.Stats.p99_stretch;
+  check_float "max of 1..100" 100.0 s.Stats.max_stretch;
+  (* tiny sample: p50 is the middle of three, p99 clamps to the max *)
+  let s3 = Stats.summarize [ (1.0, 1.0, 0); (1.0, 2.0, 0); (1.0, 4.0, 0) ] in
+  check_float "p50 of 3" 2.0 s3.Stats.p50_stretch;
+  check_float "p99 of 3" 4.0 s3.Stats.p99_stretch;
+  (* single sample: every percentile is that sample *)
+  let s1 = Stats.summarize [ (2.0, 3.0, 1) ] in
+  check_float "p50 of 1" 1.5 s1.Stats.p50_stretch;
+  check_float "p99 of 1" 1.5 s1.Stats.p99_stretch
+
 let test_measure_full_table () =
   let m = grid6 () in
   let s = Cr_baselines.Full_table.labeled m in
@@ -136,6 +156,7 @@ let suite =
     Alcotest.test_case "pairs_for policy" `Quick test_pairs_for_policy;
     Alcotest.test_case "namings bijective" `Quick test_namings;
     Alcotest.test_case "stats summarize" `Quick test_stats_summarize;
+    Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
     Alcotest.test_case "measure full table" `Quick test_measure_full_table;
     Alcotest.test_case "worst pair on ring" `Quick test_worst_pair;
     prop_scheme_summaries ]

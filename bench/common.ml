@@ -9,6 +9,12 @@ module Netting_tree = Cr_nets.Netting_tree
 module Workload = Cr_sim.Workload
 module Scheme = Cr_sim.Scheme
 module Stats = Cr_sim.Stats
+module Pool = Cr_par.Pool
+
+(* The pool every experiment shares: size from CR_DOMAINS or the machine;
+   all outputs are pool-size independent (see Cr_par.Pool), so the
+   experiment tables are reproducible whatever the parallelism. *)
+let pool () = Pool.default ()
 
 type instance = {
   name : string;
@@ -16,8 +22,8 @@ type instance = {
   nt : Netting_tree.t;
 }
 
-let instance name graph =
-  let metric = Metric.of_graph graph in
+let instance ?pool:(p = Pool.default ()) name graph =
+  let metric = Metric.of_graph ~pool:p graph in
   let nt = Netting_tree.build (Hierarchy.build metric) in
   { name; metric; nt }
 
@@ -33,6 +39,17 @@ let families () =
       (Cr_lowerbound.Construction.graph
          (Cr_lowerbound.Construction.build ~n:128 ~p:4 ~q:3)) ]
 
+(* The next size tier, unlocked by the Cr_par domain pool: used by the
+   parallel-scaling experiment (E17) and available to any experiment that
+   wants thousand-node instances. Kept out of [families] so the full
+   sequential matrix still completes in minutes. *)
+let large_family_graphs () =
+  [ ("geo-1024", fun () -> Cr_graphgen.Geometric.knn ~n:1024 ~k:3 ~seed:11);
+    ("grid-32x32", fun () -> Cr_graphgen.Grid.square ~side:32) ]
+
+let large_families ?pool () =
+  List.map (fun (name, graph) -> instance ?pool name (graph ())) (large_family_graphs ())
+
 let default_epsilon = 0.5
 let pairs_budget = 2_000
 
@@ -41,22 +58,31 @@ let pairs_of inst =
 
 let naming_of inst = Workload.random_naming ~n:(Metric.n inst.metric) ~seed:42
 
-(* Scheme builders *)
+(* Scheme builders (table construction rides the shared pool) *)
 
-let hier_labeled inst ~epsilon = Cr_core.Hier_labeled.build inst.nt ~epsilon
+let hier_labeled inst ~epsilon =
+  Cr_core.Hier_labeled.build ~pool:(pool ()) inst.nt ~epsilon
 
 let scale_free_labeled inst ~epsilon =
-  Cr_core.Scale_free_labeled.build inst.nt ~epsilon
+  Cr_core.Scale_free_labeled.build ~pool:(pool ()) inst.nt ~epsilon
 
 let simple_ni inst ~epsilon ~naming =
   let hl = hier_labeled inst ~epsilon in
-  Cr_core.Simple_ni.build inst.nt ~epsilon ~naming
+  Cr_core.Simple_ni.build ~pool:(pool ()) inst.nt ~epsilon ~naming
     ~underlying:(Cr_core.Hier_labeled.to_underlying hl)
 
 let scale_free_ni inst ~epsilon ~naming =
   let sfl = scale_free_labeled inst ~epsilon in
-  Cr_core.Scale_free_ni.build inst.nt ~epsilon ~naming
+  Cr_core.Scale_free_ni.build ~pool:(pool ()) inst.nt ~epsilon ~naming
     ~underlying:(Cr_core.Scale_free_labeled.to_underlying sfl)
+
+(* Workload evaluation on the shared pool: one walker per pair, samples
+   merged in pair order, so summaries match the sequential run exactly. *)
+let measure_labeled inst s pairs =
+  Stats.measure_labeled ~pool:(pool ()) inst.metric s pairs
+
+let measure_name_independent inst s naming pairs =
+  Stats.measure_name_independent ~pool:(pool ()) inst.metric s naming pairs
 
 (* Table printing *)
 

@@ -30,7 +30,7 @@ let run () =
       in
       List.iter
         (fun (s : Scheme.name_independent) ->
-          let summary = Stats.measure_name_independent inst.metric s naming pairs in
+          let summary = measure_name_independent inst s naming pairs in
           print_row
             ([ cell "%-12s" inst.name; cell "%-34s" s.Scheme.ni_name ]
             @ stretch_cells summary

@@ -28,7 +28,7 @@ let run () =
       in
       List.iter
         (fun (s : Scheme.labeled) ->
-          let summary = Stats.measure_labeled inst.metric s pairs in
+          let summary = measure_labeled inst s pairs in
           print_row
             ([ cell "%-12s" inst.name; cell "%-28s" s.Scheme.l_name ]
             @ stretch_cells summary

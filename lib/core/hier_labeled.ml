@@ -14,14 +14,16 @@ type t = {
 
 let table_bits t v = Rings.table_bits t.rings v
 
-let build ?obs nt ~epsilon =
+let build ?obs ?(pool = Cr_par.Pool.default ()) nt ~epsilon =
   let ctx = Trace.resolve obs in
   Trace.span ctx "hier_labeled.build" (fun () ->
       let h = Netting_tree.hierarchy nt in
       let m = Hierarchy.metric h in
       let t =
         { nt; metric = m;
-          rings = Rings.build nt ~epsilon ~mode:Rings.All_levels }
+          rings =
+            Cr_par.Pool.stage ctx pool "hier_labeled.rings" (fun () ->
+                Rings.build ~pool nt ~epsilon ~mode:Rings.All_levels) }
       in
       Scheme.table_counters ctx "hier_labeled" (table_bits t) (Metric.n m);
       t)

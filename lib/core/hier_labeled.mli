@@ -15,9 +15,15 @@
 type t
 
 (** [build ?obs nt ~epsilon] prepares the scheme over netting tree [nt]
-    (traced as a [hier_labeled.build] span with table-size counters). *)
+    (traced as a [hier_labeled.build] span with table-size counters).
+    Per-node ring construction fans out over [pool]; tables are identical
+    whatever the pool size. *)
 val build :
-  ?obs:Cr_obs.Trace.context -> Cr_nets.Netting_tree.t -> epsilon:float -> t
+  ?obs:Cr_obs.Trace.context ->
+  ?pool:Cr_par.Pool.t ->
+  Cr_nets.Netting_tree.t ->
+  epsilon:float ->
+  t
 
 (** [label t v] is v's routing label (DFS leaf number). *)
 val label : t -> int -> int

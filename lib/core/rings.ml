@@ -2,6 +2,7 @@ module Metric = Cr_metric.Metric
 module Bits = Cr_metric.Bits
 module Hierarchy = Cr_nets.Hierarchy
 module Netting_tree = Cr_nets.Netting_tree
+module Pool = Cr_par.Pool
 
 type mode =
   | All_levels
@@ -37,7 +38,7 @@ let compute_selected m ~eps_eff ~top u =
   done;
   !result
 
-let build nt ~epsilon ~mode =
+let build ?(pool = Pool.default ()) nt ~epsilon ~mode =
   if epsilon <= 0.0 || epsilon >= 1.0 then
     invalid_arg "Rings.build: epsilon must be in (0, 1)";
   let h = Netting_tree.hierarchy nt in
@@ -45,33 +46,36 @@ let build nt ~epsilon ~mode =
   let n = Metric.n m in
   let top = Hierarchy.top_level h in
   let eps_eff = Float.min epsilon (1.0 /. 6.0) in
-  let levels =
-    Array.init n (fun u ->
-        match mode with
-        | All_levels -> List.init (top + 1) Fun.id
-        | Selected -> compute_selected m ~eps_eff ~top u)
+  let nets = Array.init (top + 1) (fun i -> Hierarchy.net h i) in
+  (* Nodes are independent: each u computes its selected levels R(u) and,
+     per selected level, X_i(u) by filtering Y_i in net order (the same
+     member order the sequential per-net scan produced). *)
+  let per_node =
+    Pool.parallel_init pool n (fun u ->
+        let ls =
+          match mode with
+          | All_levels -> List.init (top + 1) Fun.id
+          | Selected -> compute_selected m ~eps_eff ~top u
+        in
+        let mems =
+          List.map
+            (fun i ->
+              let radius = Float.pow 2.0 (float_of_int i) /. eps_eff in
+              (i, List.filter (fun x -> Metric.dist m u x <= radius) nets.(i)))
+            ls
+        in
+        (ls, mems))
   in
+  let levels = Array.map fst per_node in
   let selected = Array.init (top + 1) (fun _ -> Array.make n false) in
   Array.iteri
     (fun u ls -> List.iter (fun i -> selected.(i).(u) <- true) ls)
     levels;
   let members = Array.init (top + 1) (fun _ -> Array.make n []) in
-  (* Fill X_i(u) by scanning each net once: for every net point x in Y_i,
-     add x to the ring of every node within the ring radius. *)
-  for i = 0 to top do
-    let radius = Float.pow 2.0 (float_of_int i) /. eps_eff in
-    List.iter
-      (fun x ->
-        for u = 0 to n - 1 do
-          if selected.(i).(u) && Metric.dist m u x <= radius then
-            members.(i).(u) <- x :: members.(i).(u)
-        done)
-      (Hierarchy.net h i)
-  done;
-  Array.iter
-    (fun per_level ->
-      Array.iteri (fun u l -> per_level.(u) <- List.rev l) per_level)
-    members;
+  Array.iteri
+    (fun u (_, mems) ->
+      List.iter (fun (i, l) -> members.(i).(u) <- l) mems)
+    per_node;
   { nt; metric = m; eps_eff; levels; selected; members }
 
 let netting_tree t = t.nt

@@ -18,8 +18,11 @@ type mode =
 
 (** [build nt ~epsilon ~mode] computes rings over the netting tree [nt]'s
     hierarchy. [epsilon] must be in (0, 1); ring radii use the scheme's
-    internal effective epsilon (see [effective_epsilon]). *)
-val build : Cr_nets.Netting_tree.t -> epsilon:float -> mode:mode -> t
+    internal effective epsilon (see [effective_epsilon]). Per-node level
+    selection and ring membership fan out over [pool] (nodes are
+    independent); the tables are identical whatever the pool size. *)
+val build :
+  ?pool:Cr_par.Pool.t -> Cr_nets.Netting_tree.t -> epsilon:float -> mode:mode -> t
 
 (** [effective_epsilon t] is min(eps, 1/6): the slack that guarantees a
     covering ring member always exists at some selected level (the paper

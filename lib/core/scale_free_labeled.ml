@@ -26,7 +26,9 @@ type t = {
   trees_of : Search_tree.t list array;  (* search trees containing a node *)
   path_bits : int array;  (* Lemma 4.3 next-hop storage charged per node *)
   descent : Netting_descent.t;
-  mutable fallbacks : int;
+  fallbacks : int Atomic.t;
+      (* atomic: routes (and hence fallbacks) may run on several domains
+         during parallel workload evaluation *)
 }
 
 let cell_tree m voronoi center =
@@ -77,19 +79,23 @@ let table_bits t v =
   in
   Rings.table_bits t.rings v + per_j + search_bits + t.path_bits.(v)
 
-let build ?obs nt ~epsilon =
+let build ?obs ?(pool = Cr_par.Pool.default ()) nt ~epsilon =
   let ctx = Trace.resolve obs in
   Trace.span ctx "scale_free_labeled.build" @@ fun () ->
   let h = Netting_tree.hierarchy nt in
   let m = Hierarchy.metric h in
   let n = Metric.n m in
-  let rings = Rings.build nt ~epsilon ~mode:Rings.Selected in
+  let rings =
+    Cr_par.Pool.stage ctx pool "scale_free_labeled.rings" (fun () ->
+        Rings.build ~pool nt ~epsilon ~mode:Rings.Selected)
+  in
   let eps_eff = Rings.effective_epsilon rings in
   let level_cap = max 1 (Bits.ceil_log2 n) in
   let trees_of = Array.make n [] in
   let path_bits = Array.make n 0 in
   let packings = Ball_packing.build_all m in
   let levels_j =
+    Cr_par.Pool.stage ctx pool "scale_free_labeled.packings" @@ fun () ->
     Array.map
       (fun packing ->
         let j = Ball_packing.size_exponent packing in
@@ -97,43 +103,53 @@ let build ?obs nt ~epsilon =
         let voronoi = Voronoi.build m ~centers in
         let routers = Hashtbl.create (List.length centers) in
         let search = Hashtbl.create (List.length centers) in
+        (* Balls are independent given the level's Voronoi partition:
+           build each cell's router and search tree in parallel, then
+           register sequentially in ball order (trees_of consing and the
+           shared path_bits accumulator must see the sequential order). *)
+        let built =
+          Cr_par.Pool.parallel_map_list pool
+            (fun (ball : Ball_packing.ball) ->
+              let c = ball.center in
+              let router = Interval_routing.build (cell_tree m voronoi c) in
+              (* Pairs: cell nodes within the extended radius r_c(j+1)
+                 (size clamped to n at the top scale). *)
+              let ext_size = min (1 lsl (j + 1)) n in
+              let ext_radius = Metric.radius_of_size m c ext_size in
+              let pairs =
+                List.filter_map
+                  (fun v ->
+                    if Metric.dist m c v <= ext_radius then
+                      Some
+                        ( Netting_tree.label nt v,
+                          Interval_routing.label router v )
+                    else None)
+                  (Voronoi.cell voronoi ~center:c)
+              in
+              let st =
+                Search_tree.build m ~epsilon:eps_eff ~center:c
+                  ~radius:(Float.max ball.radius 1.0)
+                  ~members:(Array.to_list ball.members)
+                  ~level_cap:(Some level_cap) ~pairs ~universe:n
+              in
+              (c, router, st))
+            (Ball_packing.balls packing)
+        in
         List.iter
-          (fun (ball : Ball_packing.ball) ->
-            let c = ball.center in
-            let router = Interval_routing.build (cell_tree m voronoi c) in
+          (fun (c, router, st) ->
             Hashtbl.replace routers c router;
-            (* Pairs: cell nodes within the extended radius r_c(j+1)
-               (size clamped to n at the top scale). *)
-            let ext_size = min (1 lsl (j + 1)) n in
-            let ext_radius = Metric.radius_of_size m c ext_size in
-            let pairs =
-              List.filter_map
-                (fun v ->
-                  if Metric.dist m c v <= ext_radius then
-                    Some
-                      ( Netting_tree.label nt v,
-                        Interval_routing.label router v )
-                  else None)
-                (Voronoi.cell voronoi ~center:c)
-            in
-            let st =
-              Search_tree.build m ~epsilon:eps_eff ~center:c
-                ~radius:(Float.max ball.radius 1.0)
-                ~members:(Array.to_list ball.members)
-                ~level_cap:(Some level_cap) ~pairs ~universe:n
-            in
             Hashtbl.replace search c st;
             List.iter
               (fun v -> trees_of.(v) <- st :: trees_of.(v))
               (Search_tree.members st);
             charge_paths m st path_bits)
-          (Ball_packing.balls packing);
+          built;
         { voronoi; routers; search })
       packings
   in
   let t =
     { nt; metric = m; rings; levels_j; trees_of; path_bits;
-      descent = Netting_descent.build nt; fallbacks = 0 }
+      descent = Netting_descent.build nt; fallbacks = Atomic.make 0 }
   in
   if Trace.enabled ctx then begin
     Trace.counter ctx "scale_free_labeled.packing_scales"
@@ -172,7 +188,7 @@ let execute_search w st ~key =
   result.data
 
 let fallback t w ~dest_label =
-  t.fallbacks <- t.fallbacks + 1;
+  Atomic.incr t.fallbacks;
   Walker.with_phase w Trace.Fallback (fun () ->
       Netting_descent.walk t.descent w ~dest_label)
 
@@ -267,7 +283,7 @@ let walk ?(observe = fun (_ : phase_report) -> ()) t w ~dest_label =
               -. search_cost }
     | None -> fallback t w ~dest_label)
 
-let fallback_count t = t.fallbacks
+let fallback_count t = Atomic.get t.fallbacks
 
 let label_bits t = Bits.id_bits (Metric.n t.metric)
 

@@ -27,7 +27,11 @@ type t
     [scale_free_labeled.build] span with packing/search-tree/table-size
     counters). *)
 val build :
-  ?obs:Cr_obs.Trace.context -> Cr_nets.Netting_tree.t -> epsilon:float -> t
+  ?obs:Cr_obs.Trace.context ->
+  ?pool:Cr_par.Pool.t ->
+  Cr_nets.Netting_tree.t ->
+  epsilon:float ->
+  t
 
 (** [label t v] is v's ceil(log n)-bit routing label (netting-tree DFS
     number). *)

@@ -53,7 +53,8 @@ let table_bits t v =
   Bits.id_bits n + search_bits + link_bits
   + t.underlying.Underlying.u_table_bits v
 
-let build ?obs nt ~epsilon ~naming ~underlying =
+let build ?obs ?(pool = Cr_par.Pool.default ()) nt ~epsilon ~naming
+    ~underlying =
   if epsilon <= 0.0 || epsilon >= 1.0 then
     invalid_arg "Scale_free_ni.build: epsilon must be in (0, 1)";
   let ctx = Trace.resolve obs in
@@ -74,89 +75,112 @@ let build ?obs nt ~epsilon ~naming ~underlying =
         (naming.Workload.name_of.(v), underlying.Underlying.u_label v))
       nodes
   in
-  (* Type-B trees: one per packed ball at every scale j. *)
+  (* Type-B trees: one per packed ball at every scale j. Balls are
+     independent: directory assembly and tree builds run on the pool;
+     trees_of registration stays sequential, in ball order. *)
   let packings = Ball_packing.build_all m in
   let packed_levels =
+    Cr_par.Pool.stage ctx pool "scale_free_ni.type_b" @@ fun () ->
     Array.map
       (fun packing ->
         let j = Ball_packing.size_exponent packing in
-        List.map
-          (fun (ball : Ball_packing.ball) ->
-            let ext_nodes = Metric.nearest_k m ball.center (min (1 lsl (j + 2)) n) in
-            let ext_set = Hashtbl.create (List.length ext_nodes) in
-            List.iter (fun v -> Hashtbl.replace ext_set v ()) ext_nodes;
-            let st =
-              Search_tree.build m ~epsilon:eps_eff ~center:ball.center
-                ~radius:(Float.max ball.radius 1.0)
-                ~members:(Array.to_list ball.members)
-                ~level_cap:None ~pairs:(directory_pairs ext_nodes) ~universe:n
-            in
-            register st;
-            (ball, { center = ball.center; scale = j; ext_set; st }))
-          (Ball_packing.balls packing))
+        let built =
+          Cr_par.Pool.parallel_map_list pool
+            (fun (ball : Ball_packing.ball) ->
+              let ext_nodes =
+                Metric.nearest_k m ball.center (min (1 lsl (j + 2)) n)
+              in
+              let ext_set = Hashtbl.create (List.length ext_nodes) in
+              List.iter (fun v -> Hashtbl.replace ext_set v ()) ext_nodes;
+              let st =
+                Search_tree.build m ~epsilon:eps_eff ~center:ball.center
+                  ~radius:(Float.max ball.radius 1.0)
+                  ~members:(Array.to_list ball.members)
+                  ~level_cap:None ~pairs:(directory_pairs ext_nodes)
+                  ~universe:n
+              in
+              (ball, { center = ball.center; scale = j; ext_set; st }))
+            (Ball_packing.balls packing)
+        in
+        List.iter (fun (_, pt) -> register pt.st) built;
+        built)
       packings
   in
   let type_b = Array.fold_left (fun acc l -> acc + List.length l) 0 packed_levels in
-  (* Type-A trees and H links, per (level, net point). *)
+  (* Type-A trees and H links, per (level, net point). Net points are
+     independent within a level (they only read the metric and the packed
+     levels built above): the covering search and any Local tree build run
+     on the pool; sites/h_links/trees_of updates stay sequential, in net
+     order. *)
   let sites = Hashtbl.create 256 in
   let h_links = Array.make n [] in
   let type_a = ref 0 in
-  for i = 0 to top do
-    let two_i = Float.pow 2.0 (float_of_int i) in
-    let radius = two_i /. eps_eff in
-    let outer = two_i *. ((1.0 /. eps_eff) +. 1.0) in
-    List.iter
-      (fun u ->
-        let members = Metric.ball m ~center:u ~radius in
-        (* Exclusion test: find a packed ball B (minimal j, then minimal
-           d(u, c)) inside B_u(outer) whose extended ball contains every
-           candidate member. *)
-        let covering = ref None in
-        let level_idx = ref 0 in
-        while !covering = None && !level_idx < Array.length packed_levels do
-          let candidates =
-            List.filter
-              (fun ((ball : Ball_packing.ball), pt) ->
-                Metric.dist m u ball.center <= outer
-                && Hashtbl.length pt.ext_set >= List.length members
-                && Array.for_all
-                     (fun x -> Metric.dist m u x <= outer)
-                     ball.members
-                && List.for_all (fun y -> Hashtbl.mem pt.ext_set y) members)
-              packed_levels.(!level_idx)
-          in
-          (match candidates with
-          | [] -> ()
-          | _ :: _ ->
-            let best =
-              List.fold_left
-                (fun acc ((ball : Ball_packing.ball), pt) ->
-                  match acc with
-                  | None -> Some (ball, pt)
-                  | Some ((b', _) as a) ->
-                    if
-                      Metric.dist m u ball.center < Metric.dist m u b'.center
-                    then Some (ball, pt)
-                    else Some a)
-                None candidates
-            in
-            covering := Option.map snd best);
-          incr level_idx
-        done;
-        match !covering with
-        | Some pt ->
-          Hashtbl.replace sites (i, u) (Link pt);
-          h_links.(u) <- h_links.(u) @ [ (i, pt) ]
-        | None ->
-          let st =
-            Search_tree.build m ~epsilon:eps_eff ~center:u ~radius ~members
-              ~level_cap:None ~pairs:(directory_pairs members) ~universe:n
-          in
-          register st;
-          incr type_a;
-          Hashtbl.replace sites (i, u) (Local st))
-      (Hierarchy.net h i)
-  done;
+  (Cr_par.Pool.stage ctx pool "scale_free_ni.type_a" @@ fun () ->
+   for i = 0 to top do
+     let two_i = Float.pow 2.0 (float_of_int i) in
+     let radius = two_i /. eps_eff in
+     let outer = two_i *. ((1.0 /. eps_eff) +. 1.0) in
+     let built =
+       Cr_par.Pool.parallel_map_list pool
+         (fun u ->
+           let members = Metric.ball m ~center:u ~radius in
+           (* Exclusion test: find a packed ball B (minimal j, then minimal
+              d(u, c)) inside B_u(outer) whose extended ball contains every
+              candidate member. *)
+           let covering = ref None in
+           let level_idx = ref 0 in
+           while !covering = None && !level_idx < Array.length packed_levels do
+             let candidates =
+               List.filter
+                 (fun ((ball : Ball_packing.ball), pt) ->
+                   Metric.dist m u ball.center <= outer
+                   && Hashtbl.length pt.ext_set >= List.length members
+                   && Array.for_all
+                        (fun x -> Metric.dist m u x <= outer)
+                        ball.members
+                   && List.for_all (fun y -> Hashtbl.mem pt.ext_set y) members)
+                 packed_levels.(!level_idx)
+             in
+             (match candidates with
+             | [] -> ()
+             | _ :: _ ->
+               let best =
+                 List.fold_left
+                   (fun acc ((ball : Ball_packing.ball), pt) ->
+                     match acc with
+                     | None -> Some (ball, pt)
+                     | Some ((b', _) as a) ->
+                       if
+                         Metric.dist m u ball.center
+                         < Metric.dist m u b'.center
+                       then Some (ball, pt)
+                       else Some a)
+                   None candidates
+               in
+               covering := Option.map snd best);
+             incr level_idx
+           done;
+           match !covering with
+           | Some pt -> (u, Link pt)
+           | None ->
+             let st =
+               Search_tree.build m ~epsilon:eps_eff ~center:u ~radius
+                 ~members ~level_cap:None ~pairs:(directory_pairs members)
+                 ~universe:n
+             in
+             (u, Local st))
+         (Hierarchy.net h i)
+     in
+     List.iter
+       (fun (u, site) ->
+         Hashtbl.replace sites (i, u) site;
+         match site with
+         | Link pt -> h_links.(u) <- h_links.(u) @ [ (i, pt) ]
+         | Local st ->
+           register st;
+           incr type_a)
+       built
+   done);
   let t =
     { nt; metric = m; zoom = Zoom.build h; eps_eff; naming; underlying;
       sites; trees_of; h_links; type_a = !type_a; type_b; top }

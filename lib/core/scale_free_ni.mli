@@ -28,6 +28,7 @@ type t
     in Theorem 1.4. *)
 val build :
   ?obs:Cr_obs.Trace.context ->
+  ?pool:Cr_par.Pool.t ->
   Cr_nets.Netting_tree.t ->
   epsilon:float ->
   naming:Cr_sim.Workload.naming ->

@@ -34,7 +34,8 @@ let table_bits t v =
   (* netting-tree parent label + directories + underlying labeled tables *)
   Bits.id_bits n + search_bits + t.underlying.Underlying.u_table_bits v
 
-let build ?obs ?(min_level = 0) nt ~epsilon ~naming ~underlying =
+let build ?obs ?(pool = Cr_par.Pool.default ()) ?(min_level = 0) nt ~epsilon
+    ~naming ~underlying =
   if epsilon <= 0.0 || epsilon >= 1.0 then
     invalid_arg "Simple_ni.build: epsilon must be in (0, 1)";
   let ctx = Trace.resolve obs in
@@ -48,23 +49,34 @@ let build ?obs ?(min_level = 0) nt ~epsilon ~naming ~underlying =
     invalid_arg "Simple_ni.build: min_level out of range";
   let trees = Hashtbl.create 64 in
   let trees_of = Array.make n [] in
+  (* Net points are independent within a level: build every search tree in
+     parallel, then register sequentially in net order so trees_of lists
+     come out in the same order as the sequential run. Workers only read
+     the metric/naming/underlying tables and emit no trace events. *)
   for i = min_level to top do
     let radius = Float.pow 2.0 (float_of_int i) /. eps_eff in
+    let built =
+      Cr_par.Pool.parallel_map_list pool
+        (fun u ->
+          let members = Metric.ball m ~center:u ~radius in
+          let pairs =
+            List.map
+              (fun v ->
+                (naming.Workload.name_of.(v), underlying.Underlying.u_label v))
+              members
+          in
+          let st =
+            Search_tree.build m ~epsilon:eps_eff ~center:u ~radius ~members
+              ~level_cap:None ~pairs ~universe:n
+          in
+          (u, members, st))
+        (Hierarchy.net h i)
+    in
     List.iter
-      (fun u ->
-        let members = Metric.ball m ~center:u ~radius in
-        let pairs =
-          List.map
-            (fun v -> (naming.Workload.name_of.(v), underlying.Underlying.u_label v))
-            members
-        in
-        let st =
-          Search_tree.build m ~epsilon:eps_eff ~center:u ~radius ~members
-            ~level_cap:None ~pairs ~universe:n
-        in
+      (fun (u, members, st) ->
         Hashtbl.replace trees (i, u) st;
         List.iter (fun v -> trees_of.(v) <- st :: trees_of.(v)) members)
-      (Hierarchy.net h i)
+      built
   done;
   let t =
     { nt; metric = m; zoom = Zoom.build h; eps_eff; naming; underlying;

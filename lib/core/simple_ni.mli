@@ -29,6 +29,7 @@ type t
     source-destination pairs) — measured in experiment E15. *)
 val build :
   ?obs:Cr_obs.Trace.context ->
+  ?pool:Cr_par.Pool.t ->
   ?min_level:int ->
   Cr_nets.Netting_tree.t ->
   epsilon:float ->

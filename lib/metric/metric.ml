@@ -1,3 +1,6 @@
+module Pool = Cr_par.Pool
+module Trace = Cr_obs.Trace
+
 type t = {
   graph : Graph.t;
   n : int;
@@ -10,13 +13,21 @@ type t = {
 
 let d m u v = m.dist.((u * m.n) + v)
 
-let build graph =
+(* The two O(n . Dijkstra) / O(n^2 log n) stages fan out over the pool;
+   each source (resp. row) is independent and results land by index, so the
+   output is identical to the sequential run (see Cr_par.Pool). Trace
+   events are emitted on the calling domain only. *)
+let build ~pool graph =
   let n = Graph.n graph in
   if n < 2 then invalid_arg "Metric.of_graph: need at least 2 nodes";
   if not (Graph.is_connected graph) then
     invalid_arg "Metric.of_graph: graph must be connected";
+  let ctx = Trace.resolve None in
   let dist = Array.make (n * n) infinity in
-  let sssp = Array.init n (fun s -> Dijkstra.run graph s) in
+  let sssp =
+    Pool.stage ctx pool "metric.sssp" @@ fun () ->
+    Pool.parallel_init pool n (fun s -> Dijkstra.run graph s)
+  in
   for s = 0 to n - 1 do
     Array.blit sssp.(s).dist 0 dist (s * n) n
   done;
@@ -38,7 +49,8 @@ let build graph =
     done
   done;
   let sorted_rows =
-    Array.init n (fun u ->
+    Pool.stage ctx pool "metric.sorted_rows" @@ fun () ->
+    Pool.parallel_init pool n (fun u ->
         let row = Array.sub dist (u * n) n in
         Array.sort compare row;
         row)
@@ -46,12 +58,12 @@ let build graph =
   { graph; n; dist; sorted_rows; sssp;
     min_distance = !min_distance; diameter = !diameter }
 
-let of_graph_unnormalized graph = build graph
+let of_graph_unnormalized ?(pool = Pool.default ()) graph = build ~pool graph
 
-let of_graph graph =
-  let m = build graph in
+let of_graph ?(pool = Pool.default ()) graph =
+  let m = build ~pool graph in
   if m.min_distance = 1.0 then m
-  else build (Graph.scale graph (1.0 /. m.min_distance))
+  else build ~pool (Graph.scale graph (1.0 /. m.min_distance))
 
 let graph m = m.graph
 let n m = m.n

@@ -13,12 +13,17 @@ type t
 
 (** [of_graph g] builds the metric of [g], normalizing weights so the
     minimum pairwise distance is 1. Raises [Invalid_argument] if [g] is
-    disconnected or has fewer than 2 nodes. *)
-val of_graph : Graph.t -> t
+    disconnected or has fewer than 2 nodes.
+
+    The n per-source Dijkstra runs and the per-node distance-rank sorts fan
+    out over [pool] (default {!Cr_par.Pool.default}); the result is
+    bit-identical whatever the pool size — see [Cr_par.Pool] for the
+    determinism contract. *)
+val of_graph : ?pool:Cr_par.Pool.t -> Graph.t -> t
 
 (** [of_graph_unnormalized g] skips the rescaling (used by tests that need
     to control weights exactly). *)
-val of_graph_unnormalized : Graph.t -> t
+val of_graph_unnormalized : ?pool:Cr_par.Pool.t -> Graph.t -> t
 
 (** [graph m] is the (possibly rescaled) underlying graph. *)
 val graph : t -> Graph.t

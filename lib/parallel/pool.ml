@@ -1,0 +1,89 @@
+module Trace = Cr_obs.Trace
+
+type t = { domains : int }
+
+let max_domains = 64
+let clamp d = max 1 (min max_domains d)
+
+let env_domains () =
+  match Sys.getenv_opt "CR_DOMAINS" with
+  | None | Some "" -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> Some (clamp d)
+    | _ -> invalid_arg "Pool: CR_DOMAINS must be a positive integer")
+
+let create ?domains () =
+  match domains with
+  | Some d when d >= 1 -> { domains = clamp d }
+  | Some _ -> invalid_arg "Pool.create: domains must be >= 1"
+  | None ->
+    let d =
+      match env_domains () with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ()
+    in
+    { domains = clamp d }
+
+let default =
+  let pool = lazy (create ()) in
+  fun () -> Lazy.force pool
+
+let sequential = { domains = 1 }
+let domains t = t.domains
+
+(* Chunk boundaries are a pure function of (n, workers), so the per-chunk
+   result arrays — and therefore the concatenated output — are identical
+   whichever domain claims which chunk. Chunks are claimed dynamically via
+   an atomic counter for load balancing (per-item cost varies: Dijkstra
+   sources are uniform but search-tree builds are not). *)
+let parallel_init t n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative length";
+  if t.domains = 1 || n <= 1 then Array.init n f
+  else begin
+    let workers = min t.domains n in
+    let chunk = max 1 (1 + ((n - 1) / (workers * 4))) in
+    let nchunks = 1 + ((n - 1) / chunk) in
+    let results = Array.make nchunks [||] in
+    let failures = Array.make nchunks None in
+    let next = Atomic.make 0 in
+    let run_chunks () =
+      let rec loop () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < nchunks then begin
+          let lo = c * chunk in
+          let len = min chunk (n - lo) in
+          (try results.(c) <- Array.init len (fun k -> f (lo + k))
+           with e -> failures.(c) <- Some e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init (workers - 1) (fun _ -> Domain.spawn run_chunks)
+    in
+    run_chunks ();
+    Array.iter Domain.join spawned;
+    Array.iter (function Some e -> raise e | None -> ()) failures;
+    Array.concat (Array.to_list results)
+  end
+
+let parallel_map t f arr = parallel_init t (Array.length arr) (fun i -> f arr.(i))
+
+let parallel_map_list t f l =
+  match l with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ -> Array.to_list (parallel_map t f (Array.of_list l))
+
+let stage ctx t name f =
+  if not (Trace.enabled ctx) then f ()
+  else begin
+    let t0 = Trace.wall_clock () in
+    Trace.span ctx ("par." ^ name) @@ fun () ->
+    let r = f () in
+    Trace.counter ctx ("par." ^ name ^ ".domains") (float_of_int t.domains);
+    Trace.counter ctx ("par." ^ name ^ ".seconds") (Trace.wall_clock () -. t0);
+    r
+  end

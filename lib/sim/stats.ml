@@ -38,21 +38,30 @@ let summarize samples =
       List.fold_left (fun acc (_, c, _) -> Float.max acc c) 0.0 samples;
     total_hops = List.fold_left (fun acc (_, _, h) -> acc + h) 0 samples }
 
-let samples_of m route pairs =
-  List.map
-    (fun (src, dst) ->
-      let outcome : Scheme.outcome = route src dst in
-      (Metric.dist m src dst, outcome.cost, outcome.hops))
-    pairs
+(* With a pool, pairs are routed on up to [Pool.domains pool] domains, one
+   fresh walker per pair; samples come back in pair order (never completion
+   order), so the summary is identical to the sequential run. Routes must
+   not emit trace events when a pool of size > 1 is used — sinks live on
+   the calling domain and are not thread-safe. *)
+let samples_of ?pool m route pairs =
+  let sample (src, dst) =
+    let outcome : Scheme.outcome = route src dst in
+    (Metric.dist m src dst, outcome.cost, outcome.hops)
+  in
+  match pool with
+  | None -> List.map sample pairs
+  | Some pool -> Cr_par.Pool.parallel_map_list pool sample pairs
 
-let measure_labeled m (s : Scheme.labeled) pairs =
-  summarize (samples_of m (fun src dst -> Scheme.route_labeled s ~src ~dst) pairs)
+let measure_labeled ?pool m (s : Scheme.labeled) pairs =
+  summarize
+    (samples_of ?pool m (fun src dst -> Scheme.route_labeled s ~src ~dst) pairs)
 
-let measure_name_independent m (s : Scheme.name_independent) naming pairs =
+let measure_name_independent ?pool m (s : Scheme.name_independent) naming pairs
+    =
   let route src dst =
     s.route_to_name ~src ~dest_name:naming.Workload.name_of.(dst)
   in
-  summarize (samples_of m route pairs)
+  summarize (samples_of ?pool m route pairs)
 
 let worst_of m route pairs =
   List.fold_left

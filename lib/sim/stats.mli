@@ -16,13 +16,20 @@ type summary = {
 val summarize : (float * float * int) list -> summary
 
 (** [measure_labeled m scheme pairs] routes every pair with a labeled
-    scheme and summarizes. *)
+    scheme and summarizes. With [pool], pairs are routed in parallel (one
+    fresh walker per pair) and samples are merged in pair order — never
+    completion order — so the summary is identical to the sequential run;
+    routes must not emit trace events when [Cr_par.Pool.domains pool > 1]
+    (sinks are not thread-safe). *)
 val measure_labeled :
+  ?pool:Cr_par.Pool.t ->
   Cr_metric.Metric.t -> Scheme.labeled -> (int * int) list -> summary
 
 (** [measure_name_independent m scheme naming pairs] routes every (src,
-    dst-node) pair by the destination's *name* under [naming]. *)
+    dst-node) pair by the destination's *name* under [naming]. [pool] as
+    in {!measure_labeled}. *)
 val measure_name_independent :
+  ?pool:Cr_par.Pool.t ->
   Cr_metric.Metric.t -> Scheme.name_independent -> Workload.naming ->
   (int * int) list -> summary
 

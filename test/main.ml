@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "compact-routing"
     [ ("metric", Test_metric.suite);
+      ("parallel", Test_parallel.suite);
       ("graphgen", Test_graphgen.suite);
       ("nets", Test_nets.suite);
       ("packing", Test_packing.suite);

@@ -108,6 +108,82 @@ let test_ring_encoding_matches_accounting () =
       (encoded <= charged + prefixes)
   done
 
+(* Roundtrips on *random* tables: the codec must invert on any table whose
+   fields fit the declared bit widths, not just tables a scheme actually
+   builds, and the bit predictor must match the writer exactly. *)
+
+let ring_tables_gen =
+  QCheck2.Gen.(
+    let* n = int_range 4 128 in
+    let* level_count = int_range 1 12 in
+    let entry =
+      let* member = int_range 0 (n - 1) in
+      let* a = int_range 0 (n - 1) in
+      let* b = int_range 0 (n - 1) in
+      let* next_hop = int_range 0 (n - 1) in
+      return
+        { Table_codec.member;
+          range_lo = min a b;
+          range_hi = max a b;
+          next_hop }
+    in
+    let level =
+      let* lvl = int_range 0 level_count in
+      let* entries = list_size (int_range 0 8) entry in
+      return { Table_codec.level = lvl; entries }
+    in
+    let* levels = list_size (int_range 0 6) level in
+    return (n, level_count, levels))
+
+let prop_rings_roundtrip_random =
+  qcheck_case ~count:200 "codec: random ring tables roundtrip"
+    ring_tables_gen (fun (n, level_count, levels) ->
+      let data = Table_codec.encode_rings ~n ~level_count levels in
+      Table_codec.decode_rings ~n ~level_count data = levels)
+
+let prop_rings_bits_exact =
+  qcheck_case ~count:200 "codec: rings_bits = writer length = charged bits"
+    ring_tables_gen (fun (n, level_count, levels) ->
+      let bits = Table_codec.rings_bits ~n ~level_count levels in
+      let data = Table_codec.encode_rings ~n ~level_count levels in
+      (* the writer pads to a byte boundary and not a bit more *)
+      Bytes.length data = (bits + 7) / 8
+      (* per entry the codec spends exactly what the harness charges per
+         ring member: a range (2 ids) plus member and next-hop ids *)
+      && bits
+         = 16
+           + List.fold_left
+               (fun acc { Table_codec.entries; _ } ->
+                 acc
+                 + Bits.ceil_log2 (level_count + 1)
+                 + 16
+                 + List.length entries
+                   * (Bits.range_bits n + (2 * Bits.id_bits n)))
+               0 levels)
+
+let interval_table_gen =
+  QCheck2.Gen.(
+    let* n = int_range 4 128 in
+    let id = int_range 0 (n - 1) in
+    let* own_lo = id in
+    let* own_hi = id in
+    let* parent_port = id in
+    let* children =
+      list_size (int_range 0 10)
+        (let* lo = id in
+         let* hi = id in
+         let* port = id in
+         return (lo, hi, port))
+    in
+    return (n, { Table_codec.own_lo; own_hi; parent_port; children }))
+
+let prop_interval_roundtrip_random =
+  qcheck_case ~count:200 "codec: random interval tables roundtrip"
+    interval_table_gen (fun (n, table) ->
+      let data = Table_codec.encode_interval ~n table in
+      Table_codec.decode_interval ~n data = table
+      && Bytes.length data = (Table_codec.interval_bits ~n table + 7) / 8)
+
 let test_interval_tables_roundtrip () =
   let m = holey () in
   let n = Metric.n m in
@@ -153,6 +229,9 @@ let suite =
       test_ring_tables_roundtrip;
     Alcotest.test_case "ring encoding matches accounting" `Quick
       test_ring_encoding_matches_accounting;
+    prop_rings_roundtrip_random;
+    prop_rings_bits_exact;
+    prop_interval_roundtrip_random;
     Alcotest.test_case "interval tables roundtrip" `Quick
       test_interval_tables_roundtrip ]
 

@@ -228,6 +228,167 @@ let prop_radius_of_size_minimal =
       done;
       !ok)
 
+(* Properties on random geometric / grid graphs — the shapes the evaluation
+   families (geo, grid, holey) are built from, with non-unit weights
+   exercising the normalization path. *)
+
+let geo_grid_gen =
+  QCheck2.Gen.(
+    let* kind = int_range 0 1 in
+    let* seed = int_range 0 10_000 in
+    return (kind, seed))
+
+let geo_grid_metric (kind, seed) =
+  match kind with
+  | 0 -> Metric.of_graph (Cr_graphgen.Geometric.knn ~n:(12 + (seed mod 20)) ~k:3 ~seed)
+  | _ ->
+    Metric.of_graph
+      (Cr_graphgen.Grid.with_holes ~side:(4 + (seed mod 3))
+         ~hole_fraction:0.2 ~seed)
+
+let prop_geo_grid_triangle =
+  qcheck_case ~count:40 "metric: triangle inequality + symmetry (geo/grid)"
+    geo_grid_gen (fun params ->
+      let m = geo_grid_metric params in
+      let n = Metric.n m in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if Metric.dist m u u <> 0.0 then ok := false;
+        for v = 0 to n - 1 do
+          if Metric.dist m u v <> Metric.dist m v u then ok := false;
+          if u <> v && Metric.dist m u v <= 0.0 then ok := false;
+          for w = 0 to n - 1 do
+            if
+              Metric.dist m u w
+              > Metric.dist m u v +. Metric.dist m v w +. 1e-9
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_normalized_min_distance =
+  qcheck_case ~count:40 "metric: min_distance ~ 1 after normalization"
+    geo_grid_gen (fun params ->
+      let m = geo_grid_metric params in
+      (* of_graph rescales so the least positive distance is 1; rebuilding
+         on the scaled graph can move it by float rounding only *)
+      Float.abs (Metric.min_distance m -. 1.0) <= 1e-9
+      && Float.abs
+           (Metric.normalized_diameter m -. Metric.diameter m)
+         <= 1e-9 *. Metric.diameter m)
+
+let prop_ball_monotone =
+  qcheck_case ~count:40 "metric: ball monotone in radius (geo/grid)"
+    QCheck2.Gen.(
+      let* params = geo_grid_gen in
+      let* r1 = float_bound_inclusive 1.0 in
+      let* r2 = float_bound_inclusive 1.0 in
+      return (params, Float.min r1 r2, Float.max r1 r2))
+    (fun (params, f1, f2) ->
+      let m = geo_grid_metric params in
+      let n = Metric.n m in
+      let r1 = f1 *. Metric.diameter m and r2 = f2 *. Metric.diameter m in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let b1 = Metric.ball m ~center:u ~radius:r1 in
+        let b2 = Metric.ball m ~center:u ~radius:r2 in
+        (* smaller-radius ball is contained in the larger *)
+        if not (List.for_all (fun v -> List.mem v b2) b1) then ok := false;
+        if List.length b1 <> Metric.ball_size m ~center:u ~radius:r1 then
+          ok := false;
+        (* every ball contains its center, and the diameter ball is V *)
+        if not (List.mem u (Metric.ball m ~center:u ~radius:0.0)) then
+          ok := false
+      done;
+      !ok
+      && List.length (Metric.ball m ~center:0 ~radius:(Metric.diameter m)) = n)
+
+let prop_geo_grid_radius_tight =
+  qcheck_case ~count:40 "metric: radius_of_size least radius (geo/grid)"
+    geo_grid_gen (fun params ->
+      let m = geo_grid_metric params in
+      let n = Metric.n m in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for size = 1 to n do
+          let r = Metric.radius_of_size m u size in
+          if Metric.ball_size m ~center:u ~radius:r < size then ok := false;
+          (* any strictly smaller radius misses the size target *)
+          if
+            r > 0.0
+            && Metric.ball_size m ~center:u ~radius:(r *. (1.0 -. 1e-12))
+               >= size
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* Small integer weights keep every path sum exact in floating point, so
+   distance ties between different sources are common and the least-id
+   owner tie-break is actually exercised (continuous random weights almost
+   never collide). *)
+let multi_source_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 24 in
+    let* seed = int_range 0 10_000 in
+    let* nsources = int_range 1 5 in
+    return (n, seed, nsources))
+
+let prop_multi_source_brute_force =
+  qcheck_case ~count:80
+    "dijkstra: multi_source = brute-force min over single sources"
+    multi_source_gen
+    (fun (n, seed, nsources) ->
+      let rng = Cr_graphgen.Rng.create seed in
+      let g = Graph.create n in
+      let weight () = float_of_int (1 + Cr_graphgen.Rng.int rng 3) in
+      for v = 1 to n - 1 do
+        Graph.add_edge g (Cr_graphgen.Rng.int rng v) v (weight ())
+      done;
+      for _ = 1 to n / 3 do
+        let u = Cr_graphgen.Rng.int rng n
+        and v = Cr_graphgen.Rng.int rng n in
+        if u <> v && Graph.edge_weight g u v = None then
+          Graph.add_edge g u v (weight ())
+      done;
+      let sources =
+        List.sort_uniq compare
+          (List.init (min nsources n) (fun _ -> Cr_graphgen.Rng.int rng n))
+      in
+      let dist, owner, pred = Dijkstra.multi_source g sources in
+      let singles = List.map (fun s -> (s, Dijkstra.run g s)) sources in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let best =
+          List.fold_left
+            (fun acc (_, (r : Dijkstra.result)) -> Float.min acc r.dist.(v))
+            infinity singles
+        in
+        (* distance: exact min over single-source runs *)
+        if dist.(v) <> best then ok := false;
+        (* owner: least source id among those attaining the min distance *)
+        let argmin =
+          List.fold_left
+            (fun acc (s, (r : Dijkstra.result)) ->
+              if r.dist.(v) = best then min acc s else acc)
+            max_int singles
+        in
+        if owner.(v) <> argmin then ok := false;
+        (* predecessors: graph edges, consistent distances, same owner *)
+        if List.mem v sources then begin
+          if pred.(v) <> -1 || dist.(v) <> 0.0 then ok := false
+        end
+        else begin
+          match Graph.edge_weight g pred.(v) v with
+          | None -> ok := false
+          | Some w ->
+            if dist.(pred.(v)) +. w <> dist.(v) then ok := false;
+            if owner.(pred.(v)) <> owner.(v) then ok := false
+        end
+      done;
+      !ok)
+
 let suite =
   [ Alcotest.test_case "graph basics" `Quick test_graph_basics;
     Alcotest.test_case "graph rejects bad edges" `Quick test_graph_rejects;
@@ -251,7 +412,12 @@ let suite =
       test_doubling_hypercube_grows;
     prop_triangle_inequality;
     prop_shortest_path_cost;
-    prop_radius_of_size_minimal ]
+    prop_radius_of_size_minimal;
+    prop_geo_grid_triangle;
+    prop_normalized_min_distance;
+    prop_ball_monotone;
+    prop_geo_grid_radius_tight;
+    prop_multi_source_brute_force ]
 
 let test_graph_io_roundtrip () =
   let g =

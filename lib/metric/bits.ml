@@ -16,8 +16,9 @@ let add tally ~component bits =
   | Some r -> r := !r + bits
   | None -> Hashtbl.replace tally component (ref bits)
 
-let total tally = Hashtbl.fold (fun _ r acc -> acc + !r) tally 0
+let total tally =
+  Tbl.fold_sorted ~cmp:String.compare (fun _ r acc -> acc + !r) tally 0
 
 let components tally =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tally []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  List.map (fun (name, r) -> (name, !r))
+    (Tbl.sorted_bindings ~cmp:String.compare tally)

@@ -20,7 +20,7 @@ let run g s =
           let cand = d +. w in
           if
             cand < dist.(v)
-            || (cand = dist.(v) && pred.(v) >= 0 && u < pred.(v))
+            || (Float.equal cand dist.(v) && pred.(v) >= 0 && u < pred.(v))
           then begin
             let improved = cand < dist.(v) in
             dist.(v) <- cand;
@@ -69,7 +69,8 @@ let multi_source g sources =
       Graph.iter_neighbors g u (fun v w ->
           let cand = d +. w in
           let better =
-            cand < dist.(v) || (cand = dist.(v) && owner.(u) < owner.(v))
+            cand < dist.(v)
+            || (Float.equal cand dist.(v) && owner.(u) < owner.(v))
           in
           if better then begin
             dist.(v) <- cand;

@@ -52,7 +52,7 @@ let build ~pool graph =
     Pool.stage ctx pool "metric.sorted_rows" @@ fun () ->
     Pool.parallel_init pool n (fun u ->
         let row = Array.sub dist (u * n) n in
-        Array.sort compare row;
+        Array.sort Float.compare row;
         row)
   in
   { graph; n; dist; sorted_rows; sssp;
@@ -62,7 +62,7 @@ let of_graph_unnormalized ?(pool = Pool.default ()) graph = build ~pool graph
 
 let of_graph ?(pool = Pool.default ()) graph =
   let m = build ~pool graph in
-  if m.min_distance = 1.0 then m
+  if Float.equal m.min_distance 1.0 then m
   else build ~pool (Graph.scale graph (1.0 /. m.min_distance))
 
 let graph m = m.graph
@@ -105,7 +105,8 @@ let nearest_k m u k =
   Array.sort
     (fun a b ->
       let da = d m u a and db = d m u b in
-      if da <> db then compare da db else compare a b)
+      let c = Float.compare da db in
+      if c <> 0 then c else Int.compare a b)
     order;
   Array.to_list (Array.sub order 0 k)
 
@@ -116,7 +117,7 @@ let nearest_in m u candidates =
     List.fold_left
       (fun best v ->
         let dv = d m u v and db = d m u best in
-        if dv < db || (dv = db && v < best) then v else best)
+        if dv < db || (Float.equal dv db && v < best) then v else best)
       first rest
 
 let next_hop m ~src ~dst =

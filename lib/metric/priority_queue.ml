@@ -27,7 +27,7 @@ let grow h =
    extraction order is deterministic even with equal priorities. *)
 let less h i j =
   h.prio.(i) < h.prio.(j)
-  || (h.prio.(i) = h.prio.(j) && h.elt.(i) < h.elt.(j))
+  || (Float.equal h.prio.(i) h.prio.(j) && h.elt.(i) < h.elt.(j))
 
 let swap h i j =
   let p = h.prio.(i) and e = h.elt.(i) in

@@ -1,4 +1,5 @@
 module Graph = Cr_metric.Graph
+module Tbl = Cr_metric.Tbl
 
 type result = {
   accepted : int list;
@@ -70,8 +71,9 @@ let discovery_phase g ~radius ~jitter ~max_messages =
               actions.Network.send v
                 (Cand { origin; r; traveled = traveled +. w; from = self }));
         (* witness rule: this node now sees [origin]; report every
-           coexisting pair once, to both centers *)
-        Hashtbl.iter
+           coexisting pair once, to both centers (ascending partner id, so
+           note traffic is independent of hash order) *)
+        Tbl.iter_sorted ~cmp:Int.compare
           (fun other (info : cand_info) ->
             if other <> origin && not (Hashtbl.mem state.witnessed (origin, other))
             then begin
@@ -126,7 +128,7 @@ let election_phase g ~radius ~a_states ~jitter ~max_messages =
     if state.status = None then begin
       let mine = (radius.(self), self) in
       let rejected =
-        Hashtbl.fold
+        Tbl.fold_sorted ~cmp:Int.compare
           (fun _ verdict acc -> acc || verdict)
           state.heard false
       in
@@ -137,7 +139,7 @@ let election_phase g ~radius ~a_states ~jitter ~max_messages =
         (* The decider is itself a witness for every candidate whose ball
            covers it; a far partner whose flood radius dwarfs ours would
            otherwise never hear from us (the self-witness case). *)
-        Hashtbl.iter
+        Tbl.iter_sorted ~cmp:Int.compare
           (fun other (_ : cand_info) ->
             if other <> self && not (Hashtbl.mem state.relayed (self, other))
             then begin
@@ -150,7 +152,7 @@ let election_phase g ~radius ~a_states ~jitter ~max_messages =
       if rejected then decide false
       else begin
         let pending =
-          Hashtbl.fold
+          Tbl.fold_sorted ~cmp:Int.compare
             (fun partner partner_r acc ->
               acc
               || (precedes (partner_r, partner) mine
@@ -202,7 +204,7 @@ let election_phase g ~radius ~a_states ~jitter ~max_messages =
           try_decide actions self state
         end;
         (* witness relay to every conflict partner seen in phase A *)
-        Hashtbl.iter
+        Tbl.iter_sorted ~cmp:Int.compare
           (fun other (_ : cand_info) ->
             if other <> origin && not (Hashtbl.mem state.relayed (origin, other))
             then begin
@@ -226,7 +228,7 @@ let election_phase g ~radius ~a_states ~jitter ~max_messages =
     | None ->
       let state = Network.state net u in
       let pending =
-        Hashtbl.fold
+        Tbl.fold_sorted ~cmp:Int.compare
           (fun partner partner_r acc ->
             if
               precedes (partner_r, partner) (radius.(u), u)

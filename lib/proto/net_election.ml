@@ -1,4 +1,5 @@
 module Graph = Cr_metric.Graph
+module Tbl = Cr_metric.Tbl
 
 type status =
   | In
@@ -73,13 +74,13 @@ let election_phase g ~r ~known ~is_seed ~jitter ~max_messages =
   (* Seeds are already members: a non-seed must wait only for non-seed
      smaller ids (seeds block it outright, at any id). *)
   let smaller_in_range self =
-    Hashtbl.fold
+    Tbl.fold_sorted ~cmp:Int.compare
       (fun o (seed, _) acc ->
         if (not seed) && o < self then o :: acc else acc)
       known.(self) []
   in
   let seed_in_range self =
-    Hashtbl.fold
+    Tbl.fold_sorted ~cmp:Int.compare
       (fun _ (seed, _) acc -> acc || seed)
       known.(self) false
   in
@@ -98,7 +99,7 @@ let election_phase g ~r ~known ~is_seed ~jitter ~max_messages =
       else begin
         let blocked =
           seed_in_range self
-          || Hashtbl.fold
+          || Tbl.fold_sorted ~cmp:Int.compare
                (fun _ (verdict, _) acc -> acc || verdict = V_in)
                state.heard false
         in
@@ -181,7 +182,9 @@ let run ?max_messages ?jitter ?(seeds = []) g ~r =
       (fun v s ->
         if status.(v) = In then Some (v, 0.0)
         else
-          Hashtbl.fold
+          (* keep-first over ascending ids: equal distances tie-break
+             toward the least member id, independent of hash order *)
+          Tbl.fold_sorted ~cmp:Int.compare
             (fun o (verdict, d) acc ->
               if verdict = V_in then
                 match acc with

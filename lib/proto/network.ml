@@ -71,8 +71,7 @@ let state t v = t.states.(v)
 
 let deliveries t = Array.copy t.deliveries
 
-let round_histogram t =
-  List.sort compare (Hashtbl.fold (fun r c acc -> (r, c) :: acc) t.rounds [])
+let round_histogram t = Cr_metric.Tbl.sorted_bindings ~cmp:Int.compare t.rounds
 
 let enqueue t ~time ~dst payload =
   Pqueue.push t.queue ~time ~seq:t.seq { dst; payload };

@@ -21,4 +21,5 @@ let () =
       ("codec", Test_codec.suite);
       ("verify", Test_verify.suite);
       ("rings", Test_rings.suite);
-      ("integration", Test_integration.suite) ]
+      ("integration", Test_integration.suite);
+      ("lint", Test_lint.suite) ]

@@ -1,0 +1,289 @@
+(* The cr_lint static-analysis suite: one known-bad fixture per rule (each
+   fires exactly once), guarded/local/out-of-scope negatives, the
+   suppression protocol, a golden rendering test, and the clean-tree
+   assertion over the real sources. *)
+
+module Engine = Cr_lint_lib.Engine
+module Rule = Cr_lint_lib.Rule
+
+(* The filesystem-independent rules: everything except mli-coverage, so
+   string fixtures need no sibling files on disk. *)
+let ast_rules =
+  List.filter (fun r -> not (String.equal r.Rule.id "mli-coverage")) Engine.all_rules
+
+let mli_rule =
+  List.filter (fun r -> String.equal r.Rule.id "mli-coverage") Engine.all_rules
+
+let count rule diags =
+  List.length (List.filter (fun d -> String.equal d.Rule.rule rule) diags)
+
+(* [src] at [rel] triggers [rule] exactly once and nothing else. *)
+let fires_once name rule ~rel src () =
+  let diags = Engine.check_source ~rules:ast_rules ~rel src in
+  Helpers.check_int (name ^ ": rule fires exactly once") 1 (count rule diags);
+  Helpers.check_int (name ^ ": no other diagnostics") 1 (List.length diags)
+
+let clean name ~rel src () =
+  let diags = Engine.check_source ~rules:ast_rules ~rel src in
+  Helpers.check_int (name ^ ": no diagnostics") 0 (List.length diags)
+
+(* ---- trace-guard ---- *)
+
+let unguarded_emission =
+  "let f ctx = Trace.counter ctx \"x\" 1.0\n"
+
+let guarded_emission =
+  "let f ctx = if Trace.enabled ctx then Trace.counter ctx \"x\" 1.0\n"
+
+let negated_guard =
+  "let f ctx g = if not (Trace.enabled ctx) then g () else Trace.mark ctx \"m\"\n"
+
+let span_is_exempt =
+  "let f ctx g = Trace.span ctx \"phase\" g\n"
+
+(* ---- determinism ---- *)
+
+let hashtbl_fold =
+  "let f tbl = Hashtbl.fold (fun k _ acc -> k + acc) tbl 0\n"
+
+let wall_clock = "let now () = Unix.gettimeofday ()\n"
+
+(* ---- pool-purity ---- *)
+
+let captured_hashtbl =
+  "let f pool n out =\n\
+  \  Cr_par.Pool.parallel_init pool n (fun i -> Hashtbl.replace out i i; i)\n"
+
+let captured_array_sugar =
+  "let f pool n out =\n\
+  \  Cr_par.Pool.parallel_map pool n (fun i -> out.(i) <- i; i)\n"
+
+let local_hashtbl =
+  "let f pool n =\n\
+  \  Cr_par.Pool.parallel_init pool n (fun i ->\n\
+  \      let t = Hashtbl.create 4 in\n\
+  \      Hashtbl.replace t i i;\n\
+  \      Hashtbl.length t)\n"
+
+let atomic_capture =
+  "let f pool n c = Cr_par.Pool.parallel_init pool n (fun i -> Atomic.incr c; i)\n"
+
+(* ---- no-unsafe-compare ---- *)
+
+let bare_compare = "let sort xs = List.sort compare xs\n"
+
+(* [du] becomes float-ish through the let-binding fixpoint: it is bound to
+   an application of the distance accessor [d]. *)
+let float_eq_via_let = "let f m u v = let du = d m u v in du = du\n"
+
+let int_equality = "let f (a : int) b = a = b\n"
+
+let explicit_float_compare = "let f a b = Float.compare a b = 0\n"
+
+(* ---- mli-coverage (needs real files) ---- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let mli_coverage () =
+  let dir = Filename.temp_dir "cr_lint_test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let orphan = Filename.concat dir "orphan.ml" in
+      write_file orphan "let x = 1\n";
+      let diags =
+        Engine.check_source ~rules:mli_rule ~rel:"lib/core/orphan.ml"
+          ~abs:orphan "let x = 1\n"
+      in
+      Helpers.check_int "orphan .ml flagged" 1 (count "mli-coverage" diags);
+      let covered = Filename.concat dir "covered.ml" in
+      write_file covered "let x = 1\n";
+      write_file (covered ^ "i") "val x : int\n";
+      let diags =
+        Engine.check_source ~rules:mli_rule ~rel:"lib/core/covered.ml"
+          ~abs:covered "let x = 1\n"
+      in
+      Helpers.check_int "covered .ml clean" 0 (List.length diags);
+      let diags =
+        Engine.check_source ~rules:mli_rule ~rel:"bin/orphan.ml" ~abs:orphan
+          "let x = 1\n"
+      in
+      Helpers.check_int "bin/ exempt" 0 (List.length diags))
+
+(* ---- suppressions ---- *)
+
+let suppressed_fold =
+  "(* cr_lint: allow determinism -- fixture: order is erased downstream *)\n"
+  ^ hashtbl_fold
+
+let reasonless_suppression =
+  "(* cr_lint: allow determinism *)\n" ^ hashtbl_fold
+
+let stale_suppression =
+  "(* cr_lint: allow determinism -- nothing left to allow *)\nlet x = 1\n"
+
+let unknown_rule_suppression =
+  "(* cr_lint: allow no-such-rule -- misspelled *)\nlet x = 1\n"
+
+let suppression_valid () =
+  let diags =
+    Engine.check_source ~rules:ast_rules ~rel:"lib/metric/fixture.ml"
+      suppressed_fold
+  in
+  Helpers.check_int "suppression silences the finding" 0 (List.length diags)
+
+let suppression_reasonless () =
+  let diags =
+    Engine.check_source ~rules:ast_rules ~rel:"lib/metric/fixture.ml"
+      reasonless_suppression
+  in
+  Helpers.check_int "reasonless comment is a syntax error" 1
+    (count "suppression-syntax" diags);
+  Helpers.check_int "finding is NOT silenced" 1 (count "determinism" diags);
+  Helpers.check_int "both are errors" 2 (Engine.error_count diags)
+
+let suppression_stale () =
+  let diags =
+    Engine.check_source ~rules:ast_rules ~rel:"lib/metric/fixture.ml"
+      stale_suppression
+  in
+  Helpers.check_int "stale suppression reported" 1
+    (count "unused-suppression" diags);
+  Helpers.check_int "stale suppression is only a warning" 0
+    (Engine.error_count diags)
+
+let suppression_unknown_rule () =
+  let diags =
+    Engine.check_source ~rules:ast_rules ~rel:"lib/metric/fixture.ml"
+      unknown_rule_suppression
+  in
+  Helpers.check_int "unknown rule id is a syntax error" 1
+    (count "suppression-syntax" diags);
+  Helpers.check_int "unknown rule id fails the build" 1
+    (Engine.error_count diags)
+
+(* ---- golden rendering ---- *)
+
+let golden_src =
+  "let tick () = Unix.gettimeofday ()\n\n" ^ hashtbl_fold
+
+let golden_expected =
+  "lib/metric/golden.ml:1:14: [determinism] Unix.gettimeofday is forbidden \
+   here: wall-clock reads outside lib/obs leak nondeterminism into build \
+   outputs; use Trace.wall_clock inside guarded instrumentation or \
+   Trace.counting_clock for reproducible traces\n\
+   lib/metric/golden.ml:3:12: [determinism] Hashtbl.fold is forbidden here: \
+   Hashtbl.fold visits bindings in nondeterministic hash order; use \
+   Cr_metric.Tbl.fold_sorted (or an explicitly order-insensitive reduction)\n"
+
+let golden_output () =
+  let diags =
+    Engine.check_source ~rules:ast_rules ~rel:"lib/metric/golden.ml" golden_src
+  in
+  let rendered = Format.asprintf "%a" Engine.render_human diags in
+  Alcotest.(check string) "human rendering is byte-stable" golden_expected
+    rendered
+
+let parse_error_is_reported () =
+  let diags =
+    Engine.check_source ~rules:ast_rules ~rel:"lib/metric/broken.ml"
+      "let let let\n"
+  in
+  Helpers.check_int "parse error surfaces as a diagnostic" 1
+    (count "parse-error" diags);
+  Helpers.check_int "parse error fails the build" 1 (Engine.error_count diags)
+
+(* ---- clean tree at HEAD ---- *)
+
+(* The test binary runs from _build/default/test; the build context above
+   it holds the copied sources (dune-project plus lib/, and bin/ bench/
+   when built). If the layout ever changes this skips quietly —
+   [dune build @lint] remains the hard gate. *)
+let find_source_root () =
+  let rec up dir n =
+    let has name = Sys.file_exists (Filename.concat dir name) in
+    if n = 0 then None
+    else if has "dune-project" && has "lib" then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent (n - 1)
+  in
+  up (Sys.getcwd ()) 8
+
+let clean_tree () =
+  match find_source_root () with
+  | None -> ()
+  | Some root ->
+    let paths =
+      List.filter
+        (fun p -> Sys.file_exists (Filename.concat root p))
+        [ "lib"; "bin"; "bench" ]
+    in
+    let report = Engine.run ~root paths in
+    Helpers.check_bool "scanned a substantial tree" true
+      (report.Engine.files > 30);
+    let rendered =
+      Format.asprintf "%a" Engine.render_human report.Engine.diagnostics
+    in
+    Alcotest.(check string) "zero findings at HEAD" "" rendered
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [ case "trace-guard: unguarded emission fires"
+      (fires_once "trace-guard" "trace-guard" ~rel:"lib/sim/fixture.ml"
+         unguarded_emission);
+    case "trace-guard: Trace.enabled guard silences"
+      (clean "guarded" ~rel:"lib/sim/fixture.ml" guarded_emission);
+    case "trace-guard: negated guard covers the else branch"
+      (clean "negated" ~rel:"lib/sim/fixture.ml" negated_guard);
+    case "trace-guard: Trace.span is exempt"
+      (clean "span" ~rel:"lib/sim/fixture.ml" span_is_exempt);
+    case "determinism: Hashtbl.fold in pooled dirs fires"
+      (fires_once "determinism" "determinism" ~rel:"lib/metric/fixture.ml"
+         hashtbl_fold);
+    case "determinism: Hashtbl.fold outside pooled dirs is fine"
+      (clean "unpooled" ~rel:"lib/tree_routing/fixture.ml" hashtbl_fold);
+    case "determinism: wall clock in lib/ fires"
+      (fires_once "determinism" "determinism" ~rel:"lib/nets/fixture.ml"
+         wall_clock);
+    case "determinism: wall clock in lib/obs is fine"
+      (clean "obs clock" ~rel:"lib/obs/fixture.ml" wall_clock);
+    case "pool-purity: captured Hashtbl mutation fires"
+      (fires_once "pool-purity" "pool-purity" ~rel:"lib/sim/fixture.ml"
+         captured_hashtbl);
+    case "pool-purity: a.(i) <- sugar fires"
+      (fires_once "pool-purity" "pool-purity" ~rel:"lib/sim/fixture.ml"
+         captured_array_sugar);
+    case "pool-purity: closure-local table is fine"
+      (clean "local" ~rel:"lib/sim/fixture.ml" local_hashtbl);
+    case "pool-purity: Atomic updates are fine"
+      (clean "atomic" ~rel:"lib/sim/fixture.ml" atomic_capture);
+    case "no-unsafe-compare: bare compare fires"
+      (fires_once "no-unsafe-compare" "no-unsafe-compare"
+         ~rel:"lib/metric/fixture.ml" bare_compare);
+    case "no-unsafe-compare: float (=) via let-propagation fires"
+      (fires_once "no-unsafe-compare" "no-unsafe-compare"
+         ~rel:"lib/metric/fixture.ml" float_eq_via_let);
+    case "no-unsafe-compare: int (=) is fine"
+      (clean "int eq" ~rel:"lib/metric/fixture.ml" int_equality);
+    case "no-unsafe-compare: Float.compare is fine"
+      (clean "float compare" ~rel:"lib/metric/fixture.ml"
+         explicit_float_compare);
+    case "no-unsafe-compare: out of scope in lib/sim"
+      (clean "scope" ~rel:"lib/sim/fixture.ml" bare_compare);
+    case "mli-coverage: orphan flagged, covered and bin/ clean" mli_coverage;
+    case "suppression: with reason, silences" suppression_valid;
+    case "suppression: reasonless is an error" suppression_reasonless;
+    case "suppression: stale is a warning" suppression_stale;
+    case "suppression: unknown rule id is an error" suppression_unknown_rule;
+    case "golden: human rendering is byte-stable" golden_output;
+    case "parse errors become diagnostics" parse_error_is_reported;
+    case "clean tree: zero findings at HEAD" clean_tree ]

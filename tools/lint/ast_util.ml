@@ -1,0 +1,75 @@
+open Parsetree
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> flatten p @ [ s ]
+  | Longident.Lapply _ -> []
+
+let path_of e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> flatten txt
+  | _ -> []
+
+let ends_with ~suffix path =
+  let rec drop n l =
+    if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+  in
+  let lp = List.length path and ls = List.length suffix in
+  ls > 0 && lp >= ls && drop (lp - ls) path = suffix
+
+let pattern_vars p =
+  let acc = ref [] in
+  let it =
+    { Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+            acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p) }
+  in
+  it.pat it p;
+  !acc
+
+let visiting_iterator f =
+  { Ast_iterator.default_iterator with
+    expr =
+      (fun it e ->
+        f e;
+        Ast_iterator.default_iterator.expr it e) }
+
+let iter_exprs structure f =
+  let it = visiting_iterator f in
+  it.structure it structure
+
+let iter_exprs_in e f =
+  let it = visiting_iterator f in
+  it.expr it e
+
+exception Found
+
+let exists_expr pred e =
+  let it = visiting_iterator (fun e -> if pred e then raise Found) in
+  try
+    it.expr it e;
+    false
+  with Found -> true
+
+let rec root_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
+  | Pexp_field (e, _) -> root_ident e
+  | Pexp_constraint (e, _) -> root_ident e
+  | Pexp_apply (f, (_, first) :: _)
+    when ends_with ~suffix:[ "Array"; "get" ] (path_of f)
+         || ends_with ~suffix:[ "Bytes"; "get" ] (path_of f)
+         || ends_with ~suffix:[ "Hashtbl"; "find" ] (path_of f) ->
+    root_ident first
+  | _ -> None
+
+let rec is_function e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype (_, e) | Pexp_constraint (e, _) -> is_function e
+  | _ -> false

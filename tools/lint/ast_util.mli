@@ -1,0 +1,40 @@
+(** Small Parsetree helpers shared by the cr_lint rules.
+
+    Everything here is purely syntactic: the linter runs before the type
+    checker, so rules match on identifier paths and expression shapes, not
+    on types. *)
+
+(** [flatten lid] is the component list of [lid] ([Lapply] yields []). *)
+val flatten : Longident.t -> string list
+
+(** [path_of e] is the flattened path when [e] is an identifier, else []. *)
+val path_of : Parsetree.expression -> string list
+
+(** [ends_with ~suffix path] is true when the last components of [path]
+    equal [suffix] (so [["Cr_obs"; "Trace"; "emit"]] matches suffix
+    [["Trace"; "emit"]]). A non-empty [suffix] never matches a shorter
+    path. *)
+val ends_with : suffix:string list -> string list -> bool
+
+(** All variable names bound anywhere inside a pattern. *)
+val pattern_vars : Parsetree.pattern -> string list
+
+(** [iter_exprs structure f] applies [f] to every expression node. *)
+val iter_exprs : Parsetree.structure -> (Parsetree.expression -> unit) -> unit
+
+(** [iter_exprs_in e f] applies [f] to [e] and every sub-expression. *)
+val iter_exprs_in : Parsetree.expression -> (Parsetree.expression -> unit) -> unit
+
+(** [exists_expr pred e] is true when [pred] holds of [e] or any
+    sub-expression. *)
+val exists_expr : (Parsetree.expression -> bool) -> Parsetree.expression -> bool
+
+(** The leftmost plain identifier under field projections, array/bytes
+    indexing and type constraints: the thing that is mutated when the whole
+    expression is assigned to. [None] for anything more exotic (qualified
+    names, function results, ...). *)
+val root_ident : Parsetree.expression -> string option
+
+(** [is_function e] is true for syntactic function literals
+    ([fun ... ->], [function ...], possibly under [fun (type a) ->]). *)
+val is_function : Parsetree.expression -> bool

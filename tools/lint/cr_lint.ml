@@ -1,0 +1,60 @@
+(* cr_lint — the repo's compiler-libs AST linter.
+
+   Usage: cr_lint [--root DIR] [--format human|json] [--list-rules] PATH...
+
+   Scans every .ml under the given paths (workspace-relative to --root),
+   runs the five contract rules (see --list-rules), honours inline
+   `(* cr_lint: allow <rule> -- <reason> *)` suppressions, and prints
+   diagnostics sorted by (file, line, col, rule). Exit code 0 when clean,
+   1 on any unsuppressed error, 2 on usage errors. Wired into the build as
+   `dune build @lint`. *)
+
+open Cr_lint_lib
+
+let usage = "cr_lint [--root DIR] [--format human|json] [--list-rules] PATH..."
+
+let () =
+  let format = ref "human" in
+  let root = ref "." in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [ ( "--root",
+        Arg.Set_string root,
+        "DIR workspace root the PATHs are relative to (default .)" );
+      ( "--format",
+        Arg.Symbol ([ "human"; "json" ], fun f -> format := f),
+        " output format (default human)" );
+      ("--list-rules", Arg.Set list_rules, " print the rule set and exit") ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun r -> Printf.printf "%-20s %s\n" r.Rule.id r.Rule.doc)
+      Engine.all_rules;
+    exit 0
+  end;
+  let paths = List.rev !paths in
+  if paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  match Engine.run ~root:!root paths with
+  | exception Sys_error msg ->
+    Printf.eprintf "cr_lint: %s\n" msg;
+    exit 2
+  | { Engine.diagnostics; files } ->
+    let ppf = Format.std_formatter in
+    (match !format with
+    | "json" -> Engine.render_json ppf diagnostics
+    | _ -> Engine.render_human ppf diagnostics);
+    Format.pp_print_flush ppf ();
+    let errors = Engine.error_count diagnostics in
+    Printf.eprintf "cr_lint: %d file%s scanned, %d finding%s (%d error%s)\n"
+      files
+      (if files = 1 then "" else "s")
+      (List.length diagnostics)
+      (if List.length diagnostics = 1 then "" else "s")
+      errors
+      (if errors = 1 then "" else "s");
+    exit (if errors > 0 then 1 else 0)

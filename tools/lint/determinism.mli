@@ -1,0 +1,3 @@
+(** determinism: no Hashtbl iteration order, self-seeded RNG, or wall clocks in the deterministic build paths. See the implementation header for the full design. *)
+
+val rule : Rule.t

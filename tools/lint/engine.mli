@@ -1,0 +1,38 @@
+(** The cr_lint driver: file discovery, parsing, rule dispatch,
+    suppression filtering, and deterministic rendering.
+
+    Diagnostics are sorted by (file, line, column, rule) so a run over the
+    same tree always prints byte-identical output — the property the
+    golden test in test/test_lint.ml relies on. *)
+
+(** The five shipped rules, in display order. *)
+val all_rules : Rule.t list
+
+(** Parse [source] as the contents of [rel] and run every applicable rule
+    plus suppression handling. [abs] (default [rel]) is the on-disk path
+    used by file-system rules; tests pass a temp path or rely on
+    [?rules] to exclude them. *)
+val check_source :
+  ?rules:Rule.t list ->
+  rel:string ->
+  ?abs:string ->
+  string ->
+  Rule.diagnostic list
+
+type report = {
+  diagnostics : Rule.diagnostic list;  (** sorted, suppressions applied *)
+  files : int;  (** number of [.ml] files scanned *)
+}
+
+(** [run ~root paths] scans every [.ml] under each of [paths] (files or
+    directories, workspace-relative to [root]), in sorted order. *)
+val run : ?rules:Rule.t list -> root:string -> string list -> report
+
+(** Number of [Error]-severity diagnostics (the exit-code currency). *)
+val error_count : Rule.diagnostic list -> int
+
+(** One [Rule.pp_human] line per diagnostic. *)
+val render_human : Format.formatter -> Rule.diagnostic list -> unit
+
+(** A JSON array, one object per diagnostic, one per line. *)
+val render_json : Format.formatter -> Rule.diagnostic list -> unit

@@ -1,0 +1,22 @@
+(* mli-coverage: every module under lib/ ships an interface. The .mli is
+   where the library documents its contracts (and where the other lint
+   rules' guarantees are surfaced to callers); an .ml without one exports
+   its whole implementation by accident. Executables (bin/, bench/) are
+   exempt. *)
+
+let id = "mli-coverage"
+
+let check (input : Rule.input) =
+  if Sys.file_exists (input.Rule.abs ^ "i") then []
+  else
+    [ Rule.diag_at ~rule:id ~file:input.Rule.rel ~line:1
+        (Printf.sprintf
+           "module has no interface: add %si documenting its public \
+            contract"
+           (Filename.basename input.Rule.rel)) ]
+
+let rule =
+  { Rule.id;
+    doc = "every .ml under lib/ has a sibling .mli";
+    applies = (fun rel -> Rule.under [ "lib" ] rel);
+    check }

@@ -1,0 +1,3 @@
+(** mli-coverage: every .ml under lib/ has a sibling .mli. See the implementation header for the full design. *)
+
+val rule : Rule.t

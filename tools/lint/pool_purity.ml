@@ -1,0 +1,125 @@
+(* pool-purity: a lightweight race detector for the Cr_par contract.
+   Closures handed to [Pool.parallel_init] / [parallel_map] /
+   [parallel_map_list] run on arbitrary domains concurrently, so they must
+   not mutate captured non-Atomic state (the bug class behind the original
+   Scale_free_labeled.fallbacks race). The check is syntactic and
+   over-approximate in the safe direction for the patterns this code base
+   uses: it collects every name bound inside the closure (parameters,
+   lets, match arms, for indices) and flags assignments — [:=], [incr],
+   [decr], record-field [<-], [Array.set]/[a.(i) <- ...], [Bytes.set],
+   [Hashtbl] mutators — whose target's root identifier is not among them.
+   [Atomic] updates go through [Atomic.*] calls and are naturally
+   allowed. *)
+
+open Parsetree
+module A = Ast_util
+
+let id = "pool-purity"
+
+let pool_fns = [ "parallel_init"; "parallel_map"; "parallel_map_list" ]
+
+let pool_fn_name f =
+  match List.rev (A.path_of f) with
+  | fn :: "Pool" :: _ when List.mem fn pool_fns -> Some fn
+  | _ -> None
+
+let hashtbl_mutators =
+  [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace" ]
+
+let is_simple_stdlib path last_ok =
+  match path with
+  | [ x ] -> List.mem x last_ok
+  | [ "Stdlib"; x ] -> List.mem x last_ok
+  | _ -> false
+
+(* The expression whose root identifier gets written by this node, if it
+   is one of the recognized mutation shapes. *)
+let mutation_target e =
+  match e.pexp_desc with
+  | Pexp_setfield (target, _, _) -> Some (target, "record field assignment")
+  | Pexp_apply (f, args) -> (
+    let path = A.path_of f in
+    let nth_nolabel n =
+      let nolabels =
+        List.filter_map
+          (fun (label, a) ->
+            match label with Asttypes.Nolabel -> Some a | _ -> None)
+          args
+      in
+      List.nth_opt nolabels n
+    in
+    if is_simple_stdlib path [ ":=" ] then
+      Option.map (fun t -> (t, "reference assignment")) (nth_nolabel 0)
+    else if is_simple_stdlib path [ "incr"; "decr" ] then
+      Option.map (fun t -> (t, "reference increment")) (nth_nolabel 0)
+    else if
+      List.exists
+        (fun m -> A.ends_with ~suffix:[ "Hashtbl"; m ] path)
+        hashtbl_mutators
+    then Option.map (fun t -> (t, "Hashtbl mutation")) (nth_nolabel 0)
+    else if
+      A.ends_with ~suffix:[ "Array"; "set" ] path
+      || A.ends_with ~suffix:[ "Array"; "unsafe_set" ] path
+      || A.ends_with ~suffix:[ "Array"; "fill" ] path
+      || A.ends_with ~suffix:[ "Bytes"; "set" ] path
+    then Option.map (fun t -> (t, "array write")) (nth_nolabel 0)
+    else None)
+  | _ -> None
+
+let locals_of closure =
+  let locals = ref [] in
+  let it =
+    { Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+            locals := txt :: !locals
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p) }
+  in
+  it.expr it closure;
+  !locals
+
+let check_closure ~file ~pool_fn closure diags =
+  let locals = locals_of closure in
+  A.iter_exprs_in closure (fun e ->
+      match mutation_target e with
+      | Some (target, what) -> (
+        match A.root_ident target with
+        | Some name when not (List.mem name locals) ->
+          diags :=
+            Rule.diag ~rule:id ~file ~loc:e.pexp_loc
+              (Printf.sprintf
+                 "closure passed to Pool.%s mutates captured `%s` (%s); \
+                  worker closures must not write shared non-Atomic state \
+                  (pool-size-invariance contract)"
+                 pool_fn name what)
+            :: !diags
+        | _ -> ())
+      | None -> ())
+
+let check (input : Rule.input) =
+  let diags = ref [] in
+  A.iter_exprs input.Rule.structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (f, args) -> (
+        match pool_fn_name f with
+        | Some pool_fn ->
+          List.iter
+            (fun (_, arg) ->
+              if A.is_function arg then
+                check_closure ~file:input.Rule.rel ~pool_fn arg diags)
+            args
+        | None -> ())
+      | _ -> ());
+  !diags
+
+let rule =
+  { Rule.id;
+    doc =
+      "closures given to Cr_par.Pool must not mutate captured non-Atomic \
+       state";
+    applies =
+      (fun rel -> not (Rule.under [ "lib/obs"; "lib/parallel" ] rel));
+    check }

@@ -1,0 +1,3 @@
+(** pool-purity: closures given to [Cr_par.Pool] must not mutate captured non-Atomic state. See the implementation header for the full design. *)
+
+val rule : Rule.t

@@ -1,0 +1,88 @@
+type severity =
+  | Error
+  | Warning
+
+type diagnostic = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type input = {
+  rel : string;
+  abs : string;
+  source : string;
+  structure : Parsetree.structure;
+}
+
+type t = {
+  id : string;
+  doc : string;
+  applies : string -> bool;
+  check : input -> diagnostic list;
+}
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+let diag ~rule ?(severity = Error) ~file ~loc message =
+  let pos = loc.Location.loc_start in
+  { rule;
+    severity;
+    file;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    message }
+
+let diag_at ~rule ?(severity = Error) ~file ~line ?(col = 0) message =
+  { rule; severity; file; line; col; message }
+
+let under dirs rel =
+  let parts path = String.split_on_char '/' path in
+  let rec is_prefix p q =
+    match (p, q) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: p', y :: q' -> String.equal x y && is_prefix p' q'
+  in
+  List.exists (fun dir -> is_prefix (parts dir) (parts rel)) dirs
+
+let compare_diag a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let pp_human ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","severity":"%s","message":"%s"}|}
+    (json_escape d.file) d.line d.col (json_escape d.rule)
+    (severity_label d.severity)
+    (json_escape d.message)

@@ -1,0 +1,73 @@
+(** The cr_lint rule framework.
+
+    A rule pairs a per-directory scope ([applies], over workspace-relative
+    '/'-separated paths) with a [check] over one parsed compilation unit,
+    producing structured, position-carrying diagnostics. The engine sorts
+    diagnostics by (file, line, column, rule) so output is deterministic
+    and golden-testable, and applies inline suppressions (see
+    {!Source.scan}) before deciding the exit code. *)
+
+type severity =
+  | Error  (** fails [dune build @lint] unless suppressed with a reason *)
+  | Warning  (** reported, never affects the exit code *)
+
+type diagnostic = {
+  rule : string;
+  severity : severity;
+  file : string;  (** workspace-relative, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, compiler convention *)
+  message : string;
+}
+
+(** One parsed [.ml] presented to a rule. [rel] is the path reported in
+    diagnostics; [abs] is the on-disk path (used by sibling-file checks
+    such as mli-coverage). *)
+type input = {
+  rel : string;
+  abs : string;
+  source : string;
+  structure : Parsetree.structure;
+}
+
+type t = {
+  id : string;  (** stable kebab-case id used in suppressions *)
+  doc : string;  (** one-line description for [--list-rules] *)
+  applies : string -> bool;
+  check : input -> diagnostic list;
+}
+
+val severity_label : severity -> string
+
+(** Diagnostic at the start of a Parsetree location. *)
+val diag :
+  rule:string ->
+  ?severity:severity ->
+  file:string ->
+  loc:Location.t ->
+  string ->
+  diagnostic
+
+(** Diagnostic at an explicit position (for non-AST rules). *)
+val diag_at :
+  rule:string ->
+  ?severity:severity ->
+  file:string ->
+  line:int ->
+  ?col:int ->
+  string ->
+  diagnostic
+
+(** [under dirs rel] is true when [rel] lies beneath one of [dirs],
+    compared whole-component-wise (["lib/core"] matches
+    ["lib/core/rings.ml"] but not ["lib/core_ext/x.ml"]). *)
+val under : string list -> string -> bool
+
+(** Total order: (file, line, col, rule, message). *)
+val compare_diag : diagnostic -> diagnostic -> int
+
+(** ["file:line:col: [rule] message"], the golden-tested human format. *)
+val pp_human : Format.formatter -> diagnostic -> unit
+
+(** One self-contained JSON object (no trailing newline). *)
+val to_json : diagnostic -> string

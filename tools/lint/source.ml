@@ -1,0 +1,93 @@
+type suppression = {
+  rule : string;
+  line : int;
+  reason : string;
+}
+
+let marker = "cr_lint:"
+
+let find_sub s sub =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i =
+    if i + lsub > ls then None
+    else if String.sub s i lsub = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_'
+
+let is_alnum c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+(* Parse the tail of a line after "cr_lint:". Expected shape:
+   "allow <rule-id> -- <reason> *)". The separator and comment closer are
+   forgiving; the reason must contain at least one alphanumeric. *)
+let parse_directive tail =
+  let tail = String.trim tail in
+  let allow = "allow" in
+  if
+    not
+      (String.length tail > String.length allow
+      && String.sub tail 0 (String.length allow) = allow
+      && tail.[String.length allow] = ' ')
+  then Result.Error "expected `allow <rule-id> -- <reason>`"
+  else
+    let rest =
+      String.trim
+        (String.sub tail (String.length allow)
+           (String.length tail - String.length allow))
+    in
+    let n = String.length rest in
+    let stop = ref 0 in
+    while !stop < n && is_word_char rest.[!stop] do
+      incr stop
+    done;
+    if !stop = 0 then Result.Error "missing rule id after `allow`"
+    else
+      let rule = String.sub rest 0 !stop in
+      let reason = String.sub rest !stop (n - !stop) in
+      (* strip the comment closer and any separator punctuation, then make
+         sure something readable is left *)
+      let reason =
+        match find_sub reason "*)" with
+        | Some i -> String.sub reason 0 i
+        | None -> reason
+      in
+      if String.exists is_alnum reason then
+        Result.Ok (rule, String.trim reason)
+      else
+        Result.Error
+          (Printf.sprintf
+             "suppression of rule `%s` must carry a reason (`allow %s -- why`)"
+             rule rule)
+
+let scan source =
+  let suppressions = ref [] and malformed = ref [] in
+  List.iteri
+    (fun i line ->
+      let lnum = i + 1 in
+      match find_sub line marker with
+      | None -> ()
+      | Some idx -> (
+        let tail =
+          String.sub line
+            (idx + String.length marker)
+            (String.length line - idx - String.length marker)
+        in
+        match parse_directive tail with
+        | Result.Ok (rule, reason) ->
+          suppressions := { rule; line = lnum; reason } :: !suppressions
+        | Result.Error msg -> malformed := (lnum, msg) :: !malformed))
+    (String.split_on_char '\n' source);
+  (List.rev !suppressions, List.rev !malformed)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

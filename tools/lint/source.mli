@@ -1,0 +1,23 @@
+(** Raw-source concerns: file loading and inline suppression comments.
+
+    A suppression is a single-line comment of the form
+
+    {v (* cr_lint: allow <rule-id> -- <reason> *) v}
+
+    and silences diagnostics of [<rule-id>] on its own line and on the
+    line immediately below (so it can trail the offending expression or
+    sit on its own line just above it). The reason is mandatory: a
+    suppression without one is itself reported as a [suppression-syntax]
+    error, as is any [cr_lint:] comment that does not parse. *)
+
+type suppression = {
+  rule : string;
+  line : int;  (** 1-based line the comment appears on *)
+  reason : string;
+}
+
+(** [scan source] is [(suppressions, malformed)] where [malformed] pairs a
+    line number with a complaint about an unparseable [cr_lint:] comment. *)
+val scan : string -> suppression list * (int * string) list
+
+val read_file : string -> string

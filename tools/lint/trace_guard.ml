@@ -1,0 +1,80 @@
+(* trace-guard: every Cr_obs.Trace emission outside lib/obs must be
+   dominated by a [Trace.enabled] test, so the null-sink path never even
+   allocates the event payload (the ROADMAP's zero-overhead contract).
+
+   The analysis tracks a single "guarded" flag down the expression tree:
+   [if <cond mentioning Trace.enabled> then e1 else e2] marks [e1] guarded
+   when the mention is positive and [e2] guarded when the condition is
+   [not (... Trace.enabled ...)]. [Trace.span] is exempt: it tests
+   [enabled] internally and must run its body either way. *)
+
+open Parsetree
+module A = Ast_util
+
+let id = "trace-guard"
+
+let emission_fns = [ "emit"; "counter"; "mark"; "hop"; "message" ]
+
+let emission_name f =
+  match List.rev (A.path_of f) with
+  | fn :: "Trace" :: _ when List.mem fn emission_fns -> Some fn
+  | _ -> None
+
+let is_enabled_app e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) ->
+    A.ends_with ~suffix:[ "Trace"; "enabled" ] (A.path_of f)
+  | _ -> false
+
+let mentions_enabled e = A.exists_expr is_enabled_app e
+
+let negated_guard cond =
+  match cond.pexp_desc with
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Longident.Lident "not"; _ }; _ },
+        [ (_, arg) ] ) ->
+    mentions_enabled arg
+  | _ -> false
+
+let check (input : Rule.input) =
+  let diags = ref [] in
+  let guarded = ref false in
+  let it =
+    { Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          match e.pexp_desc with
+          | Pexp_ifthenelse (cond, e_then, e_else) ->
+            let saved = !guarded in
+            it.expr it cond;
+            guarded :=
+              saved || (mentions_enabled cond && not (negated_guard cond));
+            it.expr it e_then;
+            guarded := saved || negated_guard cond;
+            Option.iter (it.expr it) e_else;
+            guarded := saved
+          | Pexp_apply (f, _) when not !guarded -> (
+            (match emission_name f with
+            | Some fn ->
+              diags :=
+                Rule.diag ~rule:id ~file:input.Rule.rel ~loc:e.pexp_loc
+                  (Printf.sprintf
+                     "unguarded Trace.%s emission; dominate it with `if \
+                      Trace.enabled ctx then ...` so the null-sink path \
+                      stays zero-overhead"
+                     fn)
+                :: !diags
+            | None -> ());
+            Ast_iterator.default_iterator.expr it e)
+          | _ -> Ast_iterator.default_iterator.expr it e) }
+  in
+  it.structure it input.Rule.structure;
+  !diags
+
+let rule =
+  { Rule.id;
+    doc =
+      "Trace emissions outside lib/obs must be guarded by Trace.enabled \
+       (zero-overhead null sink)";
+    applies = (fun rel -> not (Rule.under [ "lib/obs" ] rel));
+    check }

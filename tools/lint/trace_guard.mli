@@ -1,0 +1,3 @@
+(** trace-guard: Trace emissions outside lib/obs must be dominated by a [Trace.enabled] test. See the implementation header for the full design. *)
+
+val rule : Rule.t

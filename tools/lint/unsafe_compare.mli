@@ -1,0 +1,3 @@
+(** no-unsafe-compare: no polymorphic compare/(=) on float distance values in lib/core and lib/metric. See the implementation header for the full design. *)
+
+val rule : Rule.t

@@ -9,6 +9,7 @@ module Netting_tree = Cr_nets.Netting_tree
 module Workload = Cr_sim.Workload
 module Scheme = Cr_sim.Scheme
 module Stats = Cr_sim.Stats
+module Report = Cr_sim.Report
 module Pool = Cr_par.Pool
 
 (* The pool every experiment shares: size from CR_DOMAINS or the machine;
@@ -53,6 +54,52 @@ let large_families ?pool () =
 let default_epsilon = 0.5
 let pairs_budget = 2_000
 
+(* Report threading (`bench/main.exe -- --report DIR`): while an
+   experiment runs, [current_report] collects rows; the shared
+   measurement helpers below record their headline numbers automatically,
+   and experiments with extra artifacts (phase histograms, message
+   counts, par.* stage times) call [record] themselves. When reporting is
+   off, every recording call is a no-op. *)
+
+let current_report : Report.t option ref = ref None
+
+let begin_experiment key = current_report := Some (Report.create ~experiment:key)
+
+let finish_experiment () =
+  let r = !current_report in
+  current_report := None;
+  r
+
+(* Repeated measurements of one (family, scheme) — an epsilon sweep, a
+   before/after-failure comparison — get deterministic occurrence
+   discriminators ("scheme@2", "scheme@3", ...) in measurement order. *)
+let record ~family ~scheme ?timings metrics =
+  match !current_report with
+  | None -> ()
+  | Some r ->
+    let occurrences =
+      List.length
+        (List.filter
+           (fun (row : Report.row) ->
+             String.equal row.Report.family family
+             && (String.equal row.Report.scheme scheme
+                || String.length row.Report.scheme > String.length scheme
+                   && String.equal
+                        (String.sub row.Report.scheme 0
+                           (String.length scheme + 1))
+                        (scheme ^ "@")))
+           (Report.rows r))
+    in
+    let discriminator =
+      if occurrences = 0 then None else Some (string_of_int (occurrences + 1))
+    in
+    Report.add_row r ~family ~scheme ?discriminator ?timings metrics
+
+(* Structural fields shared by every auto-recorded row. *)
+let instance_metrics inst =
+  [ ("n", Report.Int (Metric.n inst.metric));
+    ("delta", Report.Float (Metric.normalized_diameter inst.metric)) ]
+
 let pairs_of inst =
   Workload.pairs_for ~n:(Metric.n inst.metric) ~seed:17 ~budget:pairs_budget
 
@@ -77,12 +124,40 @@ let scale_free_ni inst ~epsilon ~naming =
     ~underlying:(Cr_core.Scale_free_labeled.to_underlying sfl)
 
 (* Workload evaluation on the shared pool: one walker per pair, samples
-   merged in pair order, so summaries match the sequential run exactly. *)
-let measure_labeled inst s pairs =
-  Stats.measure_labeled ~pool:(pool ()) inst.metric s pairs
+   merged in pair order, so summaries match the sequential run exactly.
+   Under --report, each call also records one report row: the summary,
+   the scheme's storage footprint, and the structural instance fields as
+   deterministic metrics; the evaluation wall time as a timing. *)
+let measure_labeled inst (s : Scheme.labeled) pairs =
+  let t0 = Cr_obs.Trace.wall_clock () in
+  let summary = Stats.measure_labeled ~pool:(pool ()) inst.metric s pairs in
+  let dt = Cr_obs.Trace.wall_clock () -. t0 in
+  let n = Metric.n inst.metric in
+  record ~family:inst.name ~scheme:s.Scheme.l_name
+    ~timings:[ ("eval.seconds", dt) ]
+    (Report.of_summary summary
+    @ instance_metrics inst
+    @ [ ("table_bits.max", Report.Int (Scheme.max_table_bits s n));
+        ("table_bits.avg", Report.Float (Scheme.avg_table_bits s n));
+        ("label_bits", Report.Int s.Scheme.l_label_bits);
+        ("header_bits", Report.Int s.Scheme.l_header_bits) ]);
+  summary
 
-let measure_name_independent inst s naming pairs =
-  Stats.measure_name_independent ~pool:(pool ()) inst.metric s naming pairs
+let measure_name_independent inst (s : Scheme.name_independent) naming pairs =
+  let t0 = Cr_obs.Trace.wall_clock () in
+  let summary =
+    Stats.measure_name_independent ~pool:(pool ()) inst.metric s naming pairs
+  in
+  let dt = Cr_obs.Trace.wall_clock () -. t0 in
+  let n = Metric.n inst.metric in
+  record ~family:inst.name ~scheme:s.Scheme.ni_name
+    ~timings:[ ("eval.seconds", dt) ]
+    (Report.of_summary summary
+    @ instance_metrics inst
+    @ [ ("table_bits.max", Report.Int (Scheme.ni_max_table_bits s n));
+        ("table_bits.avg", Report.Float (Scheme.ni_avg_table_bits s n));
+        ("header_bits", Report.Int s.Scheme.ni_header_bits) ]);
+  summary
 
 (* Table printing *)
 

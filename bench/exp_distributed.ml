@@ -27,6 +27,13 @@ let run () =
       let edges = Graph.num_edges g in
       let spt = Dist_spt.run g ~root:0 in
       let hier = Dist_hierarchy.build inst.metric in
+      record ~family:inst.name ~scheme:"dist-preprocess"
+        [ ("n", Report.Int n);
+          ("edges", Report.Int edges);
+          ("network.messages.spt", Report.Int spt.Dist_spt.stats.Network.messages);
+          ("network.makespan.spt", Report.Float spt.Dist_spt.stats.Network.makespan);
+          ("network.messages.hierarchy",
+           Report.Int hier.Dist_hierarchy.total_messages) ];
       print_row
         [ cell "%-12s" inst.name;
           cell "%5d" n;

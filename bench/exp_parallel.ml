@@ -88,6 +88,20 @@ let run () =
                  "E17: %s stats diverge between 1 and %d domains" family d))
         per_domain;
       let times sel = List.map (fun (d, a, b, c, _) -> (d, sel a b c)) per_domain in
+      (* Report row: the (pool-size-invariant) reference summary as
+         deterministic metrics, the par.* per-stage / per-domain-count
+         wall times as threshold-class timings. *)
+      record ~family ~scheme:"parallel-stages"
+        ~timings:
+          (List.concat_map
+             (fun (stage, sel) ->
+               List.map
+                 (fun (d, t) -> (Printf.sprintf "par.%s.d%d" stage d, t))
+                 (times sel))
+             [ ("metric", fun a _ _ -> a);
+               ("build", fun _ b _ -> b);
+               ("eval", fun _ _ c -> c) ])
+        (Report.of_summary reference);
       print_rows family
         [ { stage = "metric (APSP)"; times = times (fun a _ _ -> a) };
           { stage = "hier-labeled build"; times = times (fun _ b _ -> b) };

@@ -10,6 +10,7 @@
 open Common
 module Metric = Cr_metric.Metric
 module Trace = Cr_obs.Trace
+module Metrics = Cr_obs.Metrics
 module Route_trace = Cr_core.Route_trace
 
 let out_dir = "trace_out"
@@ -50,6 +51,27 @@ let check_phase_sums routes =
       <= 1e-6 *. Float.max 1.0 r.cost
       && Route_trace.unphased_hops r = 0)
     routes
+
+(* Under --report: fold the batch's event stream into a Metrics registry
+   through the Trace.sink adapter — per-phase hop and cost counters, the
+   hop-cost histogram — and record it as this family's row, together with
+   the headline fallback count (EXPERIMENTS.md asserts it stays 0 on the
+   fast-path figures). *)
+let record_registry family figure routes =
+  let reg = Metrics.create () in
+  let sink = Metrics.sink reg in
+  List.iter
+    (fun (r : Route_trace.t) -> List.iter sink.Trace.emit r.Route_trace.events)
+    routes;
+  let fallback_count =
+    match Metrics.find reg "route.hops.fallback" with
+    | Some (Metrics.Counter v) -> int_of_float v
+    | _ -> 0
+  in
+  record ~family ~scheme:figure
+    (Report.of_snapshot (Metrics.snapshot reg)
+    @ [ ("routes", Report.Int (List.length routes));
+        ("fallback_count", Report.Int fallback_count) ])
 
 let report family figure routes =
   let total_cost =
@@ -101,6 +123,8 @@ let run_family inst =
   in
   report inst.name "fig1" fig1;
   report inst.name "fig2" fig2;
+  record_registry inst.name "fig1" fig1;
+  record_registry inst.name "fig2" fig2;
   Printf.printf "   wrote %s\n" (String.concat ", " files)
 
 let run () =

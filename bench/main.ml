@@ -2,8 +2,16 @@
    figure in the paper (see DESIGN.md's per-experiment index), plus
    Bechamel timing benches.
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- e5 e7   # selected experiments *)
+     dune exec bench/main.exe                    # everything
+     dune exec bench/main.exe -- e5 e7           # selected experiments
+     dune exec bench/main.exe -- --report out e1 # + BENCH_e1.json under out/
+
+   With --report DIR, every experiment additionally writes its headline
+   numbers as a schema-versioned BENCH_<experiment>.json under DIR, plus
+   one BENCH_manifest.json for the whole run (seeds, CR_DOMAINS, git rev,
+   host). Diff two runs with tools/report's cr_report. *)
+
+module Report = Cr_sim.Report
 
 let experiments =
   [ ("e1", "Table 1: name-independent schemes", Exp_table1.run);
@@ -29,21 +37,82 @@ let experiments =
    request but stays out of the run-everything default. *)
 let aliases = [ ("parallel-scaling", "parallel scaling (alias of e17)", Exp_parallel.run) ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map (fun (k, _, _) -> k) experiments
+let usage = "usage: main.exe [--report DIR] [EXPERIMENT...]"
+
+let mkdir_p dir =
+  let rec go dir =
+    if not (Sys.file_exists dir) then begin
+      go (Filename.dirname dir);
+      (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+    end
   in
+  if dir <> "" then go dir
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Best-effort provenance for the manifest; never fails the run. *)
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> line
+    | _ -> "unknown")
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
+let write_manifest dir keys =
+  write_file
+    (Filename.concat dir "BENCH_manifest.json")
+    (Report.manifest_json
+       ~cr_domains:(Cr_par.Pool.domains (Common.pool ()))
+       ~git_rev:(git_rev ())
+       ~host:(Unix.gethostname ())
+       ~seeds:
+         [ ("naming", 42); ("pairs", 17); ("holey", 7); ("geo", 11);
+           ("landmark", 3) ]
+       ~experiments:keys)
+
+let () =
+  let rec parse report keys = function
+    | [] -> (report, List.rev keys)
+    | "--report" :: dir :: rest -> parse (Some dir) keys rest
+    | [ "--report" ] ->
+      prerr_endline usage;
+      exit 2
+    | key :: rest -> parse report (key :: keys) rest
+  in
+  let report_dir, requested =
+    parse None [] (List.tl (Array.to_list Sys.argv))
+  in
+  let requested =
+    match requested with
+    | [] -> List.map (fun (k, _, _) -> k) experiments
+    | keys -> keys
+  in
+  Option.iter mkdir_p report_dir;
   let experiments = experiments @ aliases in
   List.iter
     (fun key ->
       match List.find_opt (fun (k, _, _) -> k = key) experiments with
       | Some (_, title, run) ->
         Printf.printf "\n###### %s — %s\n" key title;
-        run ()
+        if report_dir <> None then Common.begin_experiment key;
+        run ();
+        Option.iter
+          (fun dir ->
+            match Common.finish_experiment () with
+            | Some r ->
+              write_file
+                (Filename.concat dir ("BENCH_" ^ key ^ ".json"))
+                (Report.to_json r)
+            | None -> ())
+          report_dir
       | None ->
         Printf.eprintf "unknown experiment %S; available: %s\n" key
           (String.concat ", " (List.map (fun (k, _, _) -> k) experiments));
         exit 1)
-    requested
+    requested;
+  Option.iter (fun dir -> write_manifest dir requested) report_dir

@@ -191,8 +191,38 @@ let stats family scheme_kind epsilon seed pairs_budget =
       (Scheme.ni_avg_table_bits s n) s.Scheme.ni_header_bits);
   0
 
-(* trace: run one route and emit its trail (text/dot/csv) or its
-   phase-tagged event log (jsonl/chrome, via the Cr_obs layer). *)
+(* trace / metrics: drive the concrete scheme so the walker records
+   trail and phase-tagged events. *)
+
+let make_walk scheme_kind nt ~epsilon ~naming ~dst =
+  match scheme_kind with
+  | Hier ->
+    let t = Cr_core.Hier_labeled.build nt ~epsilon in
+    fun w ->
+      Cr_core.Hier_labeled.walk t w
+        ~dest_label:(Cr_core.Hier_labeled.label t dst)
+  | Sfl ->
+    let t = Cr_core.Scale_free_labeled.build nt ~epsilon in
+    fun w ->
+      Cr_core.Scale_free_labeled.walk t w
+        ~dest_label:(Cr_core.Scale_free_labeled.label t dst)
+  | Simple ->
+    let hl = Cr_core.Hier_labeled.build nt ~epsilon in
+    let t =
+      Cr_core.Simple_ni.build nt ~epsilon ~naming
+        ~underlying:(Cr_core.Hier_labeled.to_underlying hl)
+    in
+    fun w ->
+      Cr_core.Simple_ni.walk t w ~dest_name:naming.Workload.name_of.(dst)
+  | Sfni ->
+    let sfl = Cr_core.Scale_free_labeled.build nt ~epsilon in
+    let t =
+      Cr_core.Scale_free_ni.build nt ~epsilon ~naming
+        ~underlying:(Cr_core.Scale_free_labeled.to_underlying sfl)
+    in
+    fun w ->
+      Cr_core.Scale_free_ni.walk t w ~dest_name:naming.Workload.name_of.(dst)
+  | Ft | St -> fun w -> Cr_sim.Walker.walk_shortest_path w dst
 
 let trace family scheme_kind epsilon seed src dst format =
   let metric, nt = load family in
@@ -203,38 +233,7 @@ let trace family scheme_kind epsilon seed src dst format =
   end
   else begin
     let naming = Workload.random_naming ~n ~seed in
-    (* drive the concrete scheme so the walker records trail and phases *)
-    let walk =
-      match scheme_kind with
-      | Hier ->
-        let t = Cr_core.Hier_labeled.build nt ~epsilon in
-        fun w ->
-          Cr_core.Hier_labeled.walk t w
-            ~dest_label:(Cr_core.Hier_labeled.label t dst)
-      | Sfl ->
-        let t = Cr_core.Scale_free_labeled.build nt ~epsilon in
-        fun w ->
-          Cr_core.Scale_free_labeled.walk t w
-            ~dest_label:(Cr_core.Scale_free_labeled.label t dst)
-      | Simple ->
-        let hl = Cr_core.Hier_labeled.build nt ~epsilon in
-        let t =
-          Cr_core.Simple_ni.build nt ~epsilon ~naming
-            ~underlying:(Cr_core.Hier_labeled.to_underlying hl)
-        in
-        fun w ->
-          Cr_core.Simple_ni.walk t w ~dest_name:naming.Workload.name_of.(dst)
-      | Sfni ->
-        let sfl = Cr_core.Scale_free_labeled.build nt ~epsilon in
-        let t =
-          Cr_core.Scale_free_ni.build nt ~epsilon ~naming
-            ~underlying:(Cr_core.Scale_free_labeled.to_underlying sfl)
-        in
-        fun w ->
-          Cr_core.Scale_free_ni.walk t w
-            ~dest_name:naming.Workload.name_of.(dst)
-      | Ft | St -> fun w -> Cr_sim.Walker.walk_shortest_path w dst
-    in
+    let walk = make_walk scheme_kind nt ~epsilon ~naming ~dst in
     (match format with
     | "jsonl" | "chrome" ->
       let captured =
@@ -256,6 +255,29 @@ let trace family scheme_kind epsilon seed src dst format =
         Printf.printf "trail (%d hops, cost %.3f): %s\n"
           (Cr_sim.Walker.hops w) (Cr_sim.Walker.cost w)
           (String.concat " -> " (List.map string_of_int trail))));
+    0
+  end
+
+(* metrics: same single route, folded through the Cr_obs.Metrics
+   registry instead of dumped as raw events. *)
+
+let metrics family scheme_kind epsilon seed src dst =
+  let metric, nt = load family in
+  let n = Metric.n metric in
+  if src < 0 || src >= n || dst < 0 || dst >= n || src = dst then begin
+    Printf.eprintf "metrics: need distinct src and dst in [0, %d)\n" n;
+    1
+  end
+  else begin
+    let naming = Workload.random_naming ~n ~seed in
+    let walk = make_walk scheme_kind nt ~epsilon ~naming ~dst in
+    let captured =
+      Cr_core.Route_trace.capture metric ~max_hops:1_000_000 ~src ~dst ~walk
+    in
+    let reg = Cr_obs.Metrics.create () in
+    let sink = Cr_obs.Metrics.sink reg in
+    List.iter sink.Cr_obs.Trace.emit captured.Cr_core.Route_trace.events;
+    print_string (Cr_obs.Metrics.to_json reg);
     0
   end
 
@@ -343,10 +365,27 @@ let trace_cmd =
       const trace $ family_arg $ scheme_arg $ epsilon_arg $ seed_arg $ src
       $ dst $ format)
 
+let metrics_cmd =
+  let src =
+    Arg.(value & opt int 0 & info [ "src" ] ~docv:"NODE" ~doc:"Source node.")
+  in
+  let dst =
+    Arg.(
+      value & opt int 1 & info [ "dst" ] ~docv:"NODE" ~doc:"Destination node.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Route one packet and print its Cr_obs.Metrics registry snapshot \
+          (per-phase hop/cost counters, hop-cost histogram) as JSON")
+    Term.(
+      const metrics $ family_arg $ scheme_arg $ epsilon_arg $ seed_arg $ src
+      $ dst)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "crdemo" ~version:"1.0"
        ~doc:"Compact routing schemes in low-doubling networks")
-    [ inspect_cmd; route_cmd; stats_cmd; trace_cmd; verify_cmd ]
+    [ inspect_cmd; route_cmd; stats_cmd; trace_cmd; metrics_cmd; verify_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -15,11 +15,21 @@ let buf_add_json_string buf s =
 
 (* Deterministic float formatting: integers print as "3", everything else
    with 9 significant digits — stable across runs, which the golden-trace
-   tests rely on. *)
+   tests rely on. JSON has no non-finite number tokens, so NaN and the
+   infinities render as the conventional quoted strings (what %g would
+   print — bare `nan` / `inf` — is not valid JSON at all). *)
 let json_float f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  if Float.is_nan f then "\"NaN\""
+  else if Float.equal f Float.infinity then "\"Infinity\""
+  else if Float.equal f Float.neg_infinity then "\"-Infinity\""
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  buf_add_json_string buf s;
+  Buffer.contents buf
 
 let json_of_event (ev : Trace.event) =
   let buf = Buffer.create 96 in

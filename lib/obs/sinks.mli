@@ -7,8 +7,14 @@
 (** [json_of_event ev] is the one-line JSON encoding used by {!jsonl}. *)
 val json_of_event : Trace.event -> string
 
-(** Deterministic float rendering shared by the exporters. *)
+(** Deterministic float rendering shared by the exporters (and by the
+    bench report encoder). Non-finite values become the quoted JSON
+    strings ["NaN"], ["Infinity"], ["-Infinity"] — always a valid JSON
+    token, never a bare [nan]/[inf]. *)
 val json_float : float -> string
+
+(** [json_string s] is [s] as a quoted, escaped JSON string token. *)
+val json_string : string -> string
 
 (** Drops everything (same as {!Trace.null_sink}). *)
 val null : Trace.sink

@@ -17,6 +17,8 @@ let () =
       ("location", Test_location.suite);
       ("proto", Test_proto.suite);
       ("obs", Test_obs.suite);
+      ("metrics", Test_metrics.suite);
+      ("report", Test_report.suite);
       ("export", Test_export.suite);
       ("codec", Test_codec.suite);
       ("verify", Test_verify.suite);

@@ -41,6 +41,21 @@ let negated_guard =
 let span_is_exempt =
   "let f ctx g = Trace.span ctx \"phase\" g\n"
 
+let unguarded_metrics =
+  "let f reg = Cr_obs.Metrics.inc reg \"route.hops\" 1.0\n"
+
+let guarded_metrics =
+  "let f ctx reg =\n\
+  \  if Trace.enabled ctx then Cr_obs.Metrics.observe reg \"cost\" 2.0\n"
+
+(* offline registry use: construction / sink folding are not emissions *)
+let metrics_sink_is_exempt =
+  "let f events =\n\
+  \  let reg = Cr_obs.Metrics.create () in\n\
+  \  let sink = Cr_obs.Metrics.sink reg in\n\
+  \  List.iter sink.Cr_obs.Trace.emit events;\n\
+  \  Cr_obs.Metrics.snapshot reg\n"
+
 (* ---- determinism ---- *)
 
 let hashtbl_fold =
@@ -246,6 +261,13 @@ let suite =
       (clean "negated" ~rel:"lib/sim/fixture.ml" negated_guard);
     case "trace-guard: Trace.span is exempt"
       (clean "span" ~rel:"lib/sim/fixture.ml" span_is_exempt);
+    case "trace-guard: unguarded Metrics emission fires"
+      (fires_once "metrics" "trace-guard" ~rel:"lib/sim/fixture.ml"
+         unguarded_metrics);
+    case "trace-guard: guarded Metrics emission is fine"
+      (clean "metrics guarded" ~rel:"lib/sim/fixture.ml" guarded_metrics);
+    case "trace-guard: Metrics sink folding is exempt"
+      (clean "metrics sink" ~rel:"lib/sim/fixture.ml" metrics_sink_is_exempt);
     case "determinism: Hashtbl.fold in pooled dirs fires"
       (fires_once "determinism" "determinism" ~rel:"lib/metric/fixture.ml"
          hashtbl_fold);

@@ -63,6 +63,40 @@ let test_memory_ring_capacity () =
     (Invalid_argument "Sinks.Memory.create: capacity <= 0")
     (fun () -> ignore (Sinks.Memory.create ~capacity:0 ()))
 
+(* exact-capacity boundary: a ring filled to exactly its capacity has
+   dropped nothing; one more event evicts exactly the oldest. *)
+let test_memory_ring_exact_boundary () =
+  let buf = Sinks.Memory.create ~capacity:3 () in
+  let ctx = counting_ctx buf in
+  let names () =
+    List.map
+      (fun (e : Trace.event) ->
+        match e.Trace.body with Trace.Mark { name } -> name | _ -> "?")
+      (Sinks.Memory.events buf)
+  in
+  for i = 0 to 2 do
+    Trace.mark ctx (string_of_int i)
+  done;
+  check_int "full at capacity" 3 (Sinks.Memory.length buf);
+  check_int "nothing dropped yet" 0 (Sinks.Memory.dropped buf);
+  Alcotest.(check (list string)) "all retained in order" [ "0"; "1"; "2" ]
+    (names ());
+  Trace.mark ctx "3";
+  check_int "still at capacity" 3 (Sinks.Memory.length buf);
+  check_int "exactly one dropped" 1 (Sinks.Memory.dropped buf);
+  Alcotest.(check (list string)) "oldest evicted first" [ "1"; "2"; "3" ]
+    (names ())
+
+let test_json_float_tokens () =
+  let check_str = Alcotest.(check string) in
+  check_str "nan" "\"NaN\"" (Sinks.json_float Float.nan);
+  check_str "inf" "\"Infinity\"" (Sinks.json_float Float.infinity);
+  check_str "neg inf" "\"-Infinity\"" (Sinks.json_float Float.neg_infinity);
+  check_str "integral" "3" (Sinks.json_float 3.0);
+  check_str "negative integral" "-2" (Sinks.json_float (-2.0));
+  check_str "fractional" "2.5" (Sinks.json_float 2.5);
+  check_str "string escaping" "\"a\\\"b\\\\c\"" (Sinks.json_string "a\"b\\c")
+
 let test_null_context_silent () =
   check_bool "null disabled" false (Trace.enabled Trace.null);
   (* span still runs the thunk and returns its value when disabled *)
@@ -225,9 +259,36 @@ let test_chrome_export_shape () =
   check_bool "route mark" true (contains "\"name\":\"route 0->2\"");
   check_bool "phase slice" true (contains "\"name\":\"deliver\"")
 
+(* nested spans must emit well-nested B/B/E/E pairs on the build lane *)
+let test_chrome_nested_spans () =
+  let buf = Sinks.Memory.create () in
+  let ctx = counting_ctx buf in
+  Trace.span ctx "outer" (fun () -> Trace.span ctx "inner" (fun () -> ()));
+  let chrome = Chrome.to_string (Sinks.Memory.events buf) in
+  let index_of needle =
+    let n = String.length needle and h = String.length chrome in
+    let rec go i =
+      if i + n > h then Alcotest.failf "missing %S in chrome export" needle
+      else if String.sub chrome i n = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let b_outer = index_of "{\"name\":\"outer\",\"cat\":\"build\",\"ph\":\"B\"" in
+  let b_inner = index_of "{\"name\":\"inner\",\"cat\":\"build\",\"ph\":\"B\"" in
+  let e_inner = index_of "{\"name\":\"inner\",\"cat\":\"build\",\"ph\":\"E\"" in
+  let e_outer = index_of "{\"name\":\"outer\",\"cat\":\"build\",\"ph\":\"E\"" in
+  check_bool "open order outer<inner" true (b_outer < b_inner);
+  check_bool "inner closes before outer" true (b_inner < e_inner);
+  check_bool "LIFO close order" true (e_inner < e_outer)
+
 let suite =
   [ Alcotest.test_case "memory sink round-trip" `Quick test_memory_round_trip;
     Alcotest.test_case "memory ring capacity" `Quick test_memory_ring_capacity;
+    Alcotest.test_case "memory ring exact boundary" `Quick
+      test_memory_ring_exact_boundary;
+    Alcotest.test_case "json_float non-finite tokens" `Quick
+      test_json_float_tokens;
     Alcotest.test_case "null context silent" `Quick test_null_context_silent;
     Alcotest.test_case "construction spans balanced" `Quick
       test_construction_spans_balanced;
@@ -236,4 +297,5 @@ let suite =
     Alcotest.test_case "walker phase scoping" `Quick test_walker_phase_scoping;
     Alcotest.test_case "network metrics" `Quick test_network_metrics;
     Alcotest.test_case "golden fig1 grid-10x10" `Quick test_golden_fig1_grid10;
-    Alcotest.test_case "chrome export shape" `Quick test_chrome_export_shape ]
+    Alcotest.test_case "chrome export shape" `Quick test_chrome_export_shape;
+    Alcotest.test_case "chrome nested spans" `Quick test_chrome_nested_spans ]

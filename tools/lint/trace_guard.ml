@@ -1,6 +1,10 @@
-(* trace-guard: every Cr_obs.Trace emission outside lib/obs must be
+(* trace-guard: every Cr_obs.Trace emission outside lib/obs — and every
+   direct Cr_obs.Metrics registry emission (inc/set/observe) — must be
    dominated by a [Trace.enabled] test, so the null-sink path never even
    allocates the event payload (the ROADMAP's zero-overhead contract).
+   Offline registry use (folding a captured event list through
+   [Metrics.sink], as bench and crdemo do) never calls inc/set/observe
+   directly and stays clean.
 
    The analysis tracks a single "guarded" flag down the expression tree:
    [if <cond mentioning Trace.enabled> then e1 else e2] marks [e1] guarded
@@ -13,11 +17,14 @@ module A = Ast_util
 
 let id = "trace-guard"
 
-let emission_fns = [ "emit"; "counter"; "mark"; "hop"; "message" ]
+let trace_fns = [ "emit"; "counter"; "mark"; "hop"; "message" ]
+let metrics_fns = [ "inc"; "set"; "observe" ]
 
+(* (module, fn) of an emission call, e.g. ("Trace", "hop"). *)
 let emission_name f =
   match List.rev (A.path_of f) with
-  | fn :: "Trace" :: _ when List.mem fn emission_fns -> Some fn
+  | fn :: "Trace" :: _ when List.mem fn trace_fns -> Some ("Trace", fn)
+  | fn :: "Metrics" :: _ when List.mem fn metrics_fns -> Some ("Metrics", fn)
   | _ -> None
 
 let is_enabled_app e =
@@ -55,14 +62,14 @@ let check (input : Rule.input) =
             guarded := saved
           | Pexp_apply (f, _) when not !guarded -> (
             (match emission_name f with
-            | Some fn ->
+            | Some (m, fn) ->
               diags :=
                 Rule.diag ~rule:id ~file:input.Rule.rel ~loc:e.pexp_loc
                   (Printf.sprintf
-                     "unguarded Trace.%s emission; dominate it with `if \
+                     "unguarded %s.%s emission; dominate it with `if \
                       Trace.enabled ctx then ...` so the null-sink path \
                       stays zero-overhead"
-                     fn)
+                     m fn)
                 :: !diags
             | None -> ());
             Ast_iterator.default_iterator.expr it e)
@@ -74,7 +81,7 @@ let check (input : Rule.input) =
 let rule =
   { Rule.id;
     doc =
-      "Trace emissions outside lib/obs must be guarded by Trace.enabled \
-       (zero-overhead null sink)";
+      "Trace/Metrics emissions outside lib/obs must be guarded by \
+       Trace.enabled (zero-overhead null sink)";
     applies = (fun rel -> not (Rule.under [ "lib/obs" ] rel));
     check }

@@ -1,0 +1,123 @@
+type finding = {
+  ok : bool;
+  path : string;
+  message : string;
+}
+
+type scheme_class =
+  | Name_independent  (* Thm 1.1, Thm 1.4: stretch 9 + O(eps) *)
+  | Labeled  (* Lemma 3.1, Thm 1.2: stretch 1 + O(eps) *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* (class, carries a log Delta factor in its tables?) *)
+let classify scheme =
+  if contains ~needle:"Thm 1.4" scheme then Some (Name_independent, true)
+  else if contains ~needle:"Thm 1.1" scheme then Some (Name_independent, false)
+  else if contains ~needle:"Lemma 3.1" scheme then Some (Labeled, true)
+  else if contains ~needle:"Thm 1.2" scheme then Some (Labeled, false)
+  else None
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let check_row ~epsilon row =
+  let str k = match Json.member k row with Some (Json.Str s) -> s | _ -> "" in
+  let metric k =
+    match Json.member "metrics" row with
+    | Some m -> (
+      match Json.member k m with Some (Json.Num f) -> Some f | _ -> None)
+    | None -> None
+  in
+  let key rule = str "family" ^ "/" ^ str "scheme" ^ "/" ^ rule in
+  let bound rule value limit detail =
+    { ok = value <= limit;
+      path = key rule;
+      message =
+        Printf.sprintf "%s: %.3f <= %.3f%s"
+          (if value <= limit then "within bound" else "EXCEEDS bound")
+          value limit detail }
+  in
+  let fallback_findings =
+    match metric "fallback_count" with
+    | Some f ->
+      [ { ok = Float.equal f 0.0;
+          path = key "fallback";
+          message =
+            (if Float.equal f 0.0 then "fallback never exercised"
+             else Printf.sprintf "fallback exercised %d times" (int_of_float f)) } ]
+    | None -> []
+  in
+  match classify (str "scheme") with
+  | None -> fallback_findings
+  | Some (cls, carries_delta) -> (
+    match (metric "stretch.max", metric "n", metric "delta") with
+    | Some stretch, Some nf, Some delta ->
+      let ln = log2 nf in
+      let stretch_findings =
+        match cls with
+        | Name_independent ->
+          [ bound "stretch" stretch
+              (9.0 +. epsilon +. (2.0 /. epsilon))
+              (Printf.sprintf " (9 + eps + 2/eps at eps=%.2f)" epsilon) ]
+        | Labeled ->
+          [ bound "stretch" stretch
+              (1.0 +. (2.0 *. epsilon))
+              (Printf.sprintf " (1 + 2 eps at eps=%.2f)" epsilon) ]
+      in
+      let table_findings =
+        match metric "table_bits.max" with
+        | None -> []
+        | Some bits ->
+          if carries_delta then
+            bound "table-bits" bits
+              (512.0 *. ln *. (ln +. Float.max 1.0 (log2 delta)))
+              " (512 log n (log n + log Delta))"
+            :: []
+          else
+            bound "table-bits" bits
+              (128.0 *. (ln ** 3.0))
+              " (128 log^3 n)"
+            :: []
+      in
+      let label_findings =
+        match (cls, metric "label_bits") with
+        | Labeled, Some lbits ->
+          let expected = Float.ceil ln in
+          [ { ok = Float.equal lbits expected;
+              path = key "label-bits";
+              message =
+                Printf.sprintf "%s: %d %s ceil(log2 n) = %d"
+                  (if Float.equal lbits expected then "optimal labels"
+                   else "NON-OPTIMAL labels")
+                  (int_of_float lbits)
+                  (if Float.equal lbits expected then "=" else "<>")
+                  (int_of_float expected) } ]
+        | _ -> []
+      in
+      stretch_findings @ table_findings @ label_findings @ fallback_findings
+    | _ ->
+      { ok = true;
+        path = key "skip";
+        message = "row lacks stretch.max/n/delta; skipped" }
+      :: fallback_findings)
+
+let check_report ?(epsilon = 0.5) report =
+  match Json.member "rows" report with
+  | Some (Json.Arr rows) -> List.concat_map (check_row ~epsilon) rows
+  | _ -> [ { ok = false; path = "rows"; message = "no rows: not a report file" } ]
+
+let all_ok findings = List.for_all (fun f -> f.ok) findings
+
+let render_human findings =
+  if findings = [] then "no checkable rows\n"
+  else
+    String.concat ""
+      (List.map
+         (fun f ->
+           Printf.sprintf "%-9s %s: %s\n"
+             (if f.ok then "ok" else "VIOLATION")
+             f.path f.message)
+         findings)

@@ -1,0 +1,154 @@
+type severity = Note | Regression
+
+type finding = {
+  severity : severity;
+  path : string;
+  message : string;
+}
+
+let finding severity path fmt =
+  Printf.ksprintf (fun message -> { severity; path; message }) fmt
+
+let row_key row =
+  let str k = match Json.member k row with Some (Json.Str s) -> s | _ -> "?" in
+  str "family" ^ "/" ^ str "scheme"
+
+let fields_of section row =
+  match Json.member section row with
+  | Some (Json.Obj fields) -> fields
+  | _ -> []
+
+(* Deterministic class: any difference is a regression. *)
+let diff_metrics ~key baseline current =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  List.iter
+    (fun (name, bv) ->
+      let path = key ^ "/metrics/" ^ name in
+      match List.assoc_opt name current with
+      | None -> add (finding Regression path "metric vanished (was %s)" (Json.render bv))
+      | Some cv ->
+        if not (Json.equal bv cv) then
+          add
+            (finding Regression path "%s -> %s (deterministic field changed)"
+               (Json.render bv) (Json.render cv)))
+    baseline;
+  List.iter
+    (fun (name, cv) ->
+      if List.assoc_opt name baseline = None then
+        add
+          (finding Note (key ^ "/metrics/" ^ name) "new metric %s"
+             (Json.render cv)))
+    current;
+  List.rev !findings
+
+(* Threshold class: only a slowdown beyond the tolerance fails. *)
+let diff_timings ~tolerance ~key baseline current =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  List.iter
+    (fun (name, bv) ->
+      let path = key ^ "/timings/" ^ name in
+      match (bv, List.assoc_opt name current) with
+      | _, None -> add (finding Note path "timing vanished")
+      | Json.Num b, Some (Json.Num c) ->
+        if b > 0.0 && c > b *. (1.0 +. tolerance) then
+          add
+            (finding Regression path "%.6f s -> %.6f s (+%.0f%%, beyond %+.0f%% tolerance)"
+               b c
+               ((c /. b -. 1.0) *. 100.0)
+               (tolerance *. 100.0))
+        else if b > 0.0 && c < b /. (1.0 +. tolerance) then
+          add (finding Note path "%.6f s -> %.6f s (faster)" b c)
+      | _ -> add (finding Note path "non-numeric timing"))
+    baseline;
+  List.iter
+    (fun (name, _) ->
+      if List.assoc_opt name baseline = None then
+        add (finding Note (key ^ "/timings/" ^ name) "new timing"))
+    current;
+  List.rev !findings
+
+let diff_reports ?(timing_tolerance = 0.5) ?(ignore_timings = false) baseline
+    current =
+  let num k j =
+    match Json.member k j with Some (Json.Num f) -> Some f | _ -> None
+  in
+  let str k j =
+    match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+  in
+  match (num "schema" baseline, num "schema" current) with
+  | Some sb, Some sc when not (Float.equal sb sc) ->
+    [ finding Regression "schema" "schema %d vs %d: reports not comparable"
+        (int_of_float sb) (int_of_float sc) ]
+  | (None, _ | _, None) ->
+    [ finding Regression "schema" "missing schema field: not a report file" ]
+  | Some _, Some _ ->
+    let exp_findings =
+      match (str "experiment" baseline, str "experiment" current) with
+      | Some eb, Some ec when not (String.equal eb ec) ->
+        [ finding Regression "experiment" "%s vs %s: different experiments" eb
+            ec ]
+      | _ -> []
+    in
+    let rows j =
+      match Json.member "rows" j with Some (Json.Arr rows) -> rows | _ -> []
+    in
+    let brows = rows baseline and crows = rows current in
+    let crow_by_key = List.map (fun r -> (row_key r, r)) crows in
+    let row_findings =
+      List.concat_map
+        (fun brow ->
+          let key = row_key brow in
+          match List.assoc_opt key crow_by_key with
+          | None -> [ finding Regression key "row vanished" ]
+          | Some crow ->
+            diff_metrics ~key (fields_of "metrics" brow)
+              (fields_of "metrics" crow)
+            @
+            if ignore_timings then []
+            else
+              diff_timings ~tolerance:timing_tolerance ~key
+                (fields_of "timings" brow) (fields_of "timings" crow))
+        brows
+    in
+    let bkeys = List.map row_key brows in
+    let new_rows =
+      List.filter_map
+        (fun crow ->
+          let key = row_key crow in
+          if List.mem key bkeys then None
+          else Some (finding Note key "new row"))
+        crows
+    in
+    exp_findings @ row_findings @ new_rows
+
+let has_regression findings =
+  List.exists (fun f -> f.severity = Regression) findings
+
+let severity_label = function
+  | Note -> "note"
+  | Regression -> "REGRESSION"
+
+let render_human findings =
+  if findings = [] then "identical (no findings)\n"
+  else
+    String.concat ""
+      (List.map
+         (fun f ->
+           Printf.sprintf "%-10s %s: %s\n" (severity_label f.severity) f.path
+             f.message)
+         findings)
+
+let render_markdown findings =
+  let header = "| severity | field | change |\n|---|---|---|\n" in
+  if findings = [] then header ^ "| - | - | identical |\n"
+  else
+    header
+    ^ String.concat ""
+        (List.map
+           (fun f ->
+             Printf.sprintf "| %s | `%s` | %s |\n"
+               (severity_label f.severity)
+               f.path f.message)
+           findings)

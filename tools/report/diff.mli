@@ -1,0 +1,40 @@
+(** Field-by-field comparison of two BENCH_*.json reports.
+
+    Fields fall into two tolerance classes, decided by which object of a
+    row they live in:
+
+    - every field under ["metrics"] is {b deterministic}: seeds are
+      committed and outputs are pool-size invariant, so any difference at
+      all is a regression (including a vanished row or field);
+    - every field under ["timings"] is {b host noise}: only a slowdown
+      beyond [timing_tolerance] (relative, default 0.5 = +50%) counts,
+      and [ignore_timings] drops the class entirely (the right setting
+      when baseline and current ran on different hosts, e.g. a committed
+      baseline in CI).
+
+    A schema or experiment mismatch is itself a regression — reports are
+    only comparable within one schema version. *)
+
+type severity =
+  | Note  (** informational: new fields, timing improvements *)
+  | Regression  (** fails the gate (non-zero exit) *)
+
+type finding = {
+  severity : severity;
+  path : string;  (** e.g. ["grid-10x10/full-table/metrics/stretch.max"] *)
+  message : string;
+}
+
+(** [diff_reports baseline current]. *)
+val diff_reports :
+  ?timing_tolerance:float -> ?ignore_timings:bool -> Json.t -> Json.t ->
+  finding list
+
+val has_regression : finding list -> bool
+
+(** One finding per line, prefixed [REGRESSION]/[note], findings in
+    report order. Deterministic, golden-testable. *)
+val render_human : finding list -> string
+
+(** The same findings as a markdown table (for CI job summaries). *)
+val render_markdown : finding list -> string

@@ -1,0 +1,213 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Fail of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let utf8_of_code buf code =
+    (* enough for the \uXXXX escapes our encoder emits *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with Failure _ -> fail "bad \\u escape"
+          in
+          pos := !pos + 4;
+          utf8_of_code buf code;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when numchar c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        Arr (items [])
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (at, msg) ->
+    Error (Printf.sprintf "JSON error at offset %d: %s" at msg)
+
+let parse_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    (match parse contents with
+    | Ok v -> Ok v
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let rec render = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f -> Cr_obs.Sinks.json_float f
+  | Str s -> Cr_obs.Sinks.json_string s
+  | Arr items -> "[" ^ String.concat "," (List.map render items) ^ "]"
+  | Obj fields ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Cr_obs.Sinks.json_string k ^ ":" ^ render v)
+           fields)
+    ^ "}"
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Num x, Num y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Arr x, Arr y ->
+    List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+         x y
+  | _ -> false

@@ -1,0 +1,295 @@
+(* E18 — fault injection: the price of reliability, and routing under
+   failures.
+
+   The paper's model assumes every message is eventually delivered and
+   every node stays up; this experiment measures what providing those
+   assumptions costs, and what breaks when they fail anyway.
+
+   Part 1: every hardened distributed construction (SPT, hierarchy
+   elections, netting parents, radii flood, ball packing) runs on
+   grid-32x32 over a seeded 5%-drop fault plan through the
+   Cr_fault.Reliable ack/retransmit transport, and each result is checked
+   *identical* to its fault-free reference — the acceptance bar for
+   robustness PRs. The recorded retransmit/ack/raw counts are the
+   reliability overhead.
+
+   Part 2: an SPT sweep over drop rates and crash fractions isolates how
+   the overhead scales with fault intensity.
+
+   Part 3: degraded-mode routing on geo-1024/grid-32x32 — static edge and
+   node failure sets, Theorem 1.4 scheme with level-up failover —
+   records delivery rate, failover counts, and stretch inflation of the
+   routes that still arrive. All numbers are CR_DOMAINS-invariant: the
+   network simulator is sequential and route samples merge in pair
+   order. *)
+
+open Common
+module Graph = Cr_metric.Graph
+module Network = Cr_proto.Network
+module Plan = Cr_fault.Plan
+module Reliable = Cr_fault.Reliable
+module Failures = Cr_sim.Failures
+
+let plan_seed = 5
+let headline_drop = 0.05
+
+(* Shared accounting row for one hardened construction. *)
+let record_transport ~family ~scheme ~converged ~drop ~crash_fraction
+    ~plain_messages (t : Reliable.totals) =
+  let raw = t.Reliable.raw_messages in
+  record ~family ~scheme
+    [ ("fault.drop", Report.Float drop);
+      ("fault.crash_fraction", Report.Float crash_fraction);
+      ("converged", Report.Int (if converged then 1 else 0));
+      ("network.messages.plain", Report.Int plain_messages);
+      ("transport.data", Report.Int t.Reliable.data);
+      ("transport.retransmits", Report.Int t.Reliable.retransmits);
+      ("transport.acks", Report.Int t.Reliable.acks);
+      ("transport.raw", Report.Int raw);
+      ("transport.timer_fires", Report.Int t.Reliable.timer_fires);
+      ("faults.dropped", Report.Int t.Reliable.faults.Network.sent_dropped);
+      ("faults.crash_lost", Report.Int t.Reliable.faults.Network.crash_lost);
+      ("transport.overhead",
+       Report.Float
+         (if plain_messages = 0 then 0.0
+          else float_of_int raw /. float_of_int plain_messages)) ]
+
+let overhead_cell ~plain (t : Reliable.totals) =
+  if plain = 0 then cell "%8s" "-"
+  else cell "%8.2f" (float_of_int t.Reliable.raw_messages /. float_of_int plain)
+
+let construction_suite () =
+  print_header
+    "E18a (hardened constructions): grid-32x32, seeded 5% drop"
+    [ "construction"; "ok"; "plain msgs"; "data"; "retx"; "acks"; "raw";
+      "raw/plain" ];
+  let g = Cr_graphgen.Grid.square ~side:32 in
+  let m = Cr_metric.Metric.of_graph ~pool:(pool ()) g in
+  let family = "grid-32x32" in
+  let plan = Plan.make ~seed:plan_seed ~drop:headline_drop () in
+  let rt = Reliable.create ~plan () in
+  let via = Reliable.runner rt in
+  let row name converged plain (t : Reliable.totals) =
+    record_transport ~family ~scheme:name ~converged ~drop:headline_drop
+      ~crash_fraction:0.0 ~plain_messages:plain t;
+    print_row
+      [ cell "%-12s" name;
+        cell "%3s" (if converged then "yes" else "NO");
+        cell "%10d" plain;
+        cell "%8d" t.Reliable.data;
+        cell "%7d" t.Reliable.retransmits;
+        cell "%8d" t.Reliable.acks;
+        cell "%9d" t.Reliable.raw_messages;
+        overhead_cell ~plain t ]
+  in
+  (* SPT *)
+  let plain_spt = Cr_proto.Dist_spt.run g ~root:0 in
+  let hard_spt = Cr_proto.Dist_spt.run ~via g ~root:0 in
+  row "spt"
+    (plain_spt.Cr_proto.Dist_spt.dist = hard_spt.Cr_proto.Dist_spt.dist
+    && plain_spt.Cr_proto.Dist_spt.pred = hard_spt.Cr_proto.Dist_spt.pred)
+    plain_spt.Cr_proto.Dist_spt.stats.Network.messages
+    (Reliable.totals rt);
+  Reliable.reset rt;
+  (* Hierarchy elections, checked against the centralized construction
+     (the fault-free distributed run provably equals it, test-asserted);
+     the fault-free distributed message count is the overhead baseline. *)
+  let ch = Cr_nets.Hierarchy.build m in
+  let plain_hier = Cr_proto.Dist_hierarchy.build m in
+  let hier = Cr_proto.Dist_hierarchy.build ~via m in
+  let hier_ok =
+    Array.length hier.Cr_proto.Dist_hierarchy.nets
+    = Cr_nets.Hierarchy.top_level ch + 1
+    && Array.for_all Fun.id
+         (Array.mapi
+            (fun i net -> net = Cr_nets.Hierarchy.net ch i)
+            hier.Cr_proto.Dist_hierarchy.nets)
+  in
+  row "hierarchy" hier_ok plain_hier.Cr_proto.Dist_hierarchy.total_messages
+    (Reliable.totals rt);
+  Reliable.reset rt;
+  (* Netting parents, one mid level. *)
+  let top = Cr_nets.Hierarchy.top_level ch in
+  let level = Int.max 0 (top - 2) in
+  let members = Cr_nets.Hierarchy.net ch level in
+  let upper = Cr_nets.Hierarchy.net ch (level + 1) in
+  let radius = Float.pow 2.0 (float_of_int (level + 1)) in
+  let plain_net =
+    Cr_proto.Dist_netting.parents_for_level m ~members ~upper ~radius
+  in
+  let hard_net =
+    Cr_proto.Dist_netting.parents_for_level ~via m ~members ~upper ~radius
+  in
+  row
+    (Printf.sprintf "netting-L%d" level)
+    (plain_net.Cr_proto.Dist_netting.parent
+    = hard_net.Cr_proto.Dist_netting.parent)
+    plain_net.Cr_proto.Dist_netting.stats.Network.messages
+    (Reliable.totals rt);
+  Reliable.reset rt;
+  (* Radii flood. *)
+  let plain_radii = Cr_proto.Dist_radii.run g in
+  let hard_radii = Cr_proto.Dist_radii.run ~via g in
+  row "radii"
+    (plain_radii.Cr_proto.Dist_radii.distances
+    = hard_radii.Cr_proto.Dist_radii.distances)
+    plain_radii.Cr_proto.Dist_radii.stats.Network.messages
+    (Reliable.totals rt);
+  Reliable.reset rt;
+  (* Ball packing, one scale. *)
+  let j = 5 in
+  let plain_pack =
+    Cr_proto.Dist_packing.run g
+      ~distances:plain_radii.Cr_proto.Dist_radii.distances ~j
+  in
+  let hard_pack =
+    Cr_proto.Dist_packing.run ~via g
+      ~distances:hard_radii.Cr_proto.Dist_radii.distances ~j
+  in
+  row
+    (Printf.sprintf "packing-j%d" j)
+    (plain_pack.Cr_proto.Dist_packing.accepted
+     = hard_pack.Cr_proto.Dist_packing.accepted
+    && plain_pack.Cr_proto.Dist_packing.radius
+       = hard_pack.Cr_proto.Dist_packing.radius)
+    (plain_pack.Cr_proto.Dist_packing.discovery.Network.messages
+    + plain_pack.Cr_proto.Dist_packing.election.Network.messages)
+    (Reliable.totals rt)
+
+(* Part 2: overhead scaling — SPT is cheap enough to sweep. Crash windows
+   open early in the flood and close before the retransmit budget runs
+   out; the root is protected (a crashed root before its boot would just
+   defer the whole protocol). *)
+let spt_sweep () =
+  print_header
+    "E18b (overhead vs fault intensity): SPT on grid-32x32"
+    [ "drop"; "crash"; "down nodes"; "data"; "retx"; "raw"; "raw/plain" ];
+  let g = Cr_graphgen.Grid.square ~side:32 in
+  let n = Graph.n g in
+  let family = "grid-32x32" in
+  let plain = Cr_proto.Dist_spt.run g ~root:0 in
+  let plain_msgs = plain.Cr_proto.Dist_spt.stats.Network.messages in
+  List.iter
+    (fun (drop, crash_fraction) ->
+      let crashes =
+        List.map
+          (fun node -> { Plan.node; down_at = 5.0; up_at = 25.0 })
+          (Plan.sample_node_failures ~protect:[ 0 ] ~seed:29
+             ~fraction:crash_fraction n)
+      in
+      let plan = Plan.make ~seed:plan_seed ~drop ~crashes () in
+      let rt = Reliable.create ~plan () in
+      let hard = Cr_proto.Dist_spt.run ~via:(Reliable.runner rt) g ~root:0 in
+      let converged =
+        plain.Cr_proto.Dist_spt.dist = hard.Cr_proto.Dist_spt.dist
+        && plain.Cr_proto.Dist_spt.pred = hard.Cr_proto.Dist_spt.pred
+      in
+      let t = Reliable.totals rt in
+      record_transport ~family ~scheme:"spt-sweep" ~converged ~drop
+        ~crash_fraction ~plain_messages:plain_msgs t;
+      print_row
+        [ cell "%5.2f" drop;
+          cell "%5.2f" crash_fraction;
+          cell "%5d" (List.length crashes);
+          cell "%8d" t.Reliable.data;
+          cell "%7d" t.Reliable.retransmits;
+          cell "%9d" t.Reliable.raw_messages;
+          overhead_cell ~plain:plain_msgs t ])
+    [ (0.0, 0.0); (0.02, 0.0); (0.05, 0.0); (0.10, 0.0);
+      (0.05, 0.05); (0.05, 0.10) ]
+
+(* Part 3: degraded-mode routing. Failure sets are sampled with nested
+   seeds (the same edge stays failed as the rate grows), so the sweep is
+   monotone in adversity, not re-rolled per point. *)
+let degraded_routing () =
+  print_header
+    "E18c (degraded routing): Theorem 1.4 scheme with level-up failover"
+    [ "family"; "edges"; "nodes"; "delivered"; "rerouted"; "undeliv";
+      "rate"; "avg stretch"; "inflation" ];
+  List.iter
+    (fun inst ->
+      let naming = naming_of inst in
+      let pairs = pairs_of inst in
+      let ni = simple_ni inst ~epsilon:default_epsilon ~naming in
+      let route failures =
+        Cr_sim.Stats.measure_degraded ~pool:(pool ()) inst.metric
+          (Cr_core.Simple_ni.degraded_scheme ni ~failures)
+          naming pairs
+      in
+      let base = route Failures.none in
+      let base_avg =
+        match base.Cr_sim.Stats.arrived with
+        | Some s -> s.Cr_sim.Stats.avg_stretch
+        | None -> 0.0
+      in
+      let measure ~edge_rate ~node_fraction =
+        let g = Cr_metric.Metric.graph inst.metric in
+        let edges = Plan.sample_edge_failures ~seed:23 ~rate:edge_rate g in
+        let nodes =
+          Plan.sample_node_failures ~seed:29 ~fraction:node_fraction
+            (Cr_metric.Metric.n inst.metric)
+        in
+        let failures = Failures.create ~edges ~nodes () in
+        let d = route failures in
+        let avg, inflation =
+          match d.Cr_sim.Stats.arrived with
+          | Some s ->
+            ( s.Cr_sim.Stats.avg_stretch,
+              if base_avg > 0.0 then s.Cr_sim.Stats.avg_stretch /. base_avg
+              else 0.0 )
+          | None -> (0.0, 0.0)
+        in
+        record ~family:inst.name ~scheme:"degraded-simple-ni"
+          [ ("fault.edge_rate", Report.Float edge_rate);
+            ("fault.node_fraction", Report.Float node_fraction);
+            ("failures.edges", Report.Int (Failures.edge_count failures));
+            ("failures.nodes", Report.Int (Failures.node_count failures));
+            ("routes", Report.Int d.Cr_sim.Stats.routes);
+            ("routes.delivered", Report.Int d.Cr_sim.Stats.delivered);
+            ("routes.rerouted", Report.Int d.Cr_sim.Stats.rerouted);
+            ("routes.undeliverable",
+             Report.Int d.Cr_sim.Stats.undeliverable);
+            ("routes.reroutes", Report.Int d.Cr_sim.Stats.reroutes_total);
+            ("delivery.rate",
+             Report.Float (Cr_sim.Stats.delivery_rate d));
+            ("stretch.avg.arrived", Report.Float avg);
+            ("stretch.inflation", Report.Float inflation) ];
+        print_row
+          [ cell "%-10s" inst.name;
+            cell "%5d" (Failures.edge_count failures);
+            cell "%5d" (Failures.node_count failures);
+            cell "%9d" d.Cr_sim.Stats.delivered;
+            cell "%8d" d.Cr_sim.Stats.rerouted;
+            cell "%7d" d.Cr_sim.Stats.undeliverable;
+            cell "%5.3f" (Cr_sim.Stats.delivery_rate d);
+            cell "%11.3f" avg;
+            cell "%9.3f" inflation ]
+      in
+      List.iter
+        (fun (edge_rate, node_fraction) -> measure ~edge_rate ~node_fraction)
+        [ (0.0, 0.0); (0.01, 0.0); (0.02, 0.0); (0.05, 0.0);
+          (0.0, 0.01); (0.0, 0.02); (0.0, 0.05); (0.02, 0.02) ])
+    (large_families ~pool:(pool ()) ())
+
+let run () =
+  construction_suite ();
+  spt_sweep ();
+  degraded_routing ();
+  print_newline ();
+  print_endline
+    "Shape: at 5% drop the at-least-once transport repairs every construction";
+  print_endline
+    "to tables identical to the fault-free run for ~2-2.5x raw messages —";
+  print_endline
+    "reliability is a constant-factor tax, as the paper's model implicitly";
+  print_endline
+    "assumes. Routing is far more fragile: the schemes route over *trees*,";
+  print_endline
+    "so a failed node near the netting-tree root disconnects whole subtrees";
+  print_endline
+    "of labeled routes and the level-up failover can only escape failures";
+  print_endline
+    "that the next zoom hub happens to avoid. Delivery decays much faster";
+  print_endline
+    "than the failed fraction — the measured price of the paper's";
+  print_endline "reliable-network assumption."

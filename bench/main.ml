@@ -31,6 +31,8 @@ let experiments =
     ("e15", "relaxed guarantees", Exp_relaxed.run);
     ("trace", "Figures 1-2 as machine-readable phase traces", Exp_trace.run);
     ("e17", "parallel scaling (domains 1/2/4/8)", Exp_parallel.run);
+    ("e18", "fault injection: reliability overhead + degraded routing",
+     Exp_faults.run);
     ("bechamel", "timing micro-benchmarks", Bech.run) ]
 
 (* `parallel-scaling` is the documented name of E17; the alias resolves on

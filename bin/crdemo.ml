@@ -281,6 +281,148 @@ let metrics family scheme_kind epsilon seed src dst =
     0
   end
 
+(* faults: fault plans and degraded routing from CLI flags. One command
+   covers both halves of Cr_fault: the hardened transport (rerun the
+   distributed SPT and hierarchy elections over a lossy network and
+   report retransmit totals plus convergence) and degraded-mode routing
+   (static edge/node failure sets, delivery and failover counts). *)
+
+let faults family scheme_kind epsilon seed plan_seed drop duplicate
+    delay_prob delay_factor crash_fraction edge_rate node_fraction
+    pairs_budget =
+  let metric, nt = load family in
+  let g = Metric.graph metric in
+  let n = Metric.n metric in
+  let crashes =
+    List.map
+      (fun node -> { Cr_fault.Plan.node; down_at = 5.0; up_at = 25.0 })
+      (Cr_fault.Plan.sample_node_failures ~protect:[ 0 ] ~seed:plan_seed
+         ~fraction:crash_fraction n)
+  in
+  let plan =
+    Cr_fault.Plan.make ~seed:plan_seed ~drop ~duplicate ~delay_prob
+      ~delay_factor ~crashes ()
+  in
+  Printf.printf "plan          %s\n" (Cr_fault.Plan.describe plan);
+  (* Hardened constructions under the plan. *)
+  let rt = Cr_fault.Reliable.create ~plan () in
+  let via = Cr_fault.Reliable.runner rt in
+  let print_totals label converged =
+    let t = Cr_fault.Reliable.totals rt in
+    Printf.printf
+      "%-13s %s: data %d, retransmits %d, acks %d, raw %d, dropped %d, \
+       crash-lost %d\n"
+      label
+      (if converged then "converged (identical to fault-free)"
+       else "DIVERGED")
+      t.Cr_fault.Reliable.data t.Cr_fault.Reliable.retransmits
+      t.Cr_fault.Reliable.acks t.Cr_fault.Reliable.raw_messages
+      t.Cr_fault.Reliable.faults.Cr_proto.Network.sent_dropped
+      t.Cr_fault.Reliable.faults.Cr_proto.Network.crash_lost;
+    Cr_fault.Reliable.reset rt
+  in
+  (try
+     let plain = Cr_proto.Dist_spt.run g ~root:0 in
+     let hard = Cr_proto.Dist_spt.run ~via g ~root:0 in
+     print_totals "spt"
+       (plain.Cr_proto.Dist_spt.dist = hard.Cr_proto.Dist_spt.dist
+       && plain.Cr_proto.Dist_spt.pred = hard.Cr_proto.Dist_spt.pred);
+     let h = Netting_tree.hierarchy nt in
+     let dh = Cr_proto.Dist_hierarchy.build ~via metric in
+     print_totals "hierarchy"
+       (Array.length dh.Cr_proto.Dist_hierarchy.nets
+        = Hierarchy.top_level h + 1
+       && Array.for_all Fun.id
+            (Array.mapi
+               (fun i net -> net = Hierarchy.net h i)
+               dh.Cr_proto.Dist_hierarchy.nets))
+   with Cr_proto.Network.Protocol_error err ->
+     Printf.printf "construction  failed: %s\n"
+       (Cr_proto.Network.error_message err));
+  (* Degraded routing over static failure sets. *)
+  let edges = Cr_fault.Plan.sample_edge_failures ~seed:plan_seed ~rate:edge_rate g in
+  let nodes =
+    Cr_fault.Plan.sample_node_failures ~seed:(plan_seed + 1)
+      ~fraction:node_fraction n
+  in
+  let failures = Cr_sim.Failures.create ~edges ~nodes () in
+  Printf.printf "failures      %d edges, %d nodes\n"
+    (Cr_sim.Failures.edge_count failures)
+    (Cr_sim.Failures.node_count failures);
+  let naming = Workload.random_naming ~n ~seed in
+  let pairs = Workload.pairs_for ~n ~seed:(seed + 1) ~budget:pairs_budget in
+  let degraded =
+    match scheme_kind with
+    | Sfni ->
+      let sfl = Cr_core.Scale_free_labeled.build nt ~epsilon in
+      Cr_core.Scale_free_ni.degraded_scheme
+        (Cr_core.Scale_free_ni.build nt ~epsilon ~naming
+           ~underlying:(Cr_core.Scale_free_labeled.to_underlying sfl))
+        ~failures
+    | _ ->
+      let hl = Cr_core.Hier_labeled.build nt ~epsilon in
+      Cr_core.Simple_ni.degraded_scheme
+        (Cr_core.Simple_ni.build nt ~epsilon ~naming
+           ~underlying:(Cr_core.Hier_labeled.to_underlying hl))
+        ~failures
+  in
+  let d = Stats.measure_degraded metric degraded naming pairs in
+  Printf.printf
+    "%s\nroutes        %d: %d delivered, %d rerouted, %d undeliverable \
+     (%d failovers, delivery rate %.3f)\n"
+    degraded.Scheme.dg_name d.Stats.routes d.Stats.delivered
+    d.Stats.rerouted d.Stats.undeliverable d.Stats.reroutes_total
+    (Stats.delivery_rate d);
+  (match d.Stats.arrived with
+  | Some s ->
+    Printf.printf "arrived       %s\n"
+      (Format.asprintf "%a" Stats.pp_summary s)
+  | None -> Printf.printf "arrived       none\n");
+  0
+
+let faults_cmd =
+  let fprob name doc =
+    Arg.(value & opt float 0.0 & info [ name ] ~docv:"P" ~doc)
+  in
+  let plan_seed =
+    Arg.(
+      value & opt int 5
+      & info [ "plan-seed" ] ~docv:"SEED" ~doc:"Seed for the fault plan.")
+  in
+  let drop = fprob "drop" "Per-message drop probability." in
+  let duplicate = fprob "duplicate" "Per-message duplication probability." in
+  let delay_prob = fprob "delay-prob" "Per-copy delay-inflation probability." in
+  let delay_factor =
+    Arg.(
+      value & opt float 0.0
+      & info [ "delay-factor" ] ~docv:"F"
+          ~doc:"Inflated copies take delay * (1 + U * F).")
+  in
+  let crash_fraction =
+    fprob "crash-fraction"
+      "Fraction of nodes that crash mid-run and recover (node 0 protected)."
+  in
+  let edge_rate =
+    fprob "edge-rate" "Fraction of edges failed for degraded routing."
+  in
+  let node_fraction =
+    fprob "node-fraction" "Fraction of nodes failed for degraded routing."
+  in
+  let pairs =
+    Arg.(
+      value & opt int 2000
+      & info [ "pairs" ] ~docv:"N" ~doc:"Pair budget (all pairs if fewer).")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run the distributed constructions over a seeded fault plan and \
+          route a workload through static failures (scheme: simple or sfni)")
+    Term.(
+      const faults $ family_arg $ scheme_arg $ epsilon_arg $ seed_arg
+      $ plan_seed $ drop $ duplicate $ delay_prob $ delay_factor
+      $ crash_fraction $ edge_rate $ node_fraction $ pairs)
+
 let inspect_cmd =
   Cmd.v
     (Cmd.info "inspect" ~doc:"Print structural statistics of a network family")
@@ -386,6 +528,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "crdemo" ~version:"1.0"
        ~doc:"Compact routing schemes in low-doubling networks")
-    [ inspect_cmd; route_cmd; stats_cmd; trace_cmd; metrics_cmd; verify_cmd ]
+    [ inspect_cmd; route_cmd; stats_cmd; trace_cmd; metrics_cmd; verify_cmd;
+      faults_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

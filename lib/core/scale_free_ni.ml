@@ -255,6 +255,45 @@ let walk ?(observe = fun (_ : level_report) -> ()) t w ~dest_name =
   in
   attempt 0
 
+(* Degraded-mode Algorithm 3 (same failover rule as
+   [Simple_ni.walk_degraded]): a [Blocked] move abandons the level and
+   re-enters the zooming sequence one level up from the packet's current
+   position; post-failover hops are trace-tagged [Faults]. *)
+let walk_degraded t w ~dest_name =
+  let reroutes = ref 0 in
+  let rec attempt from i =
+    if i > t.top then Scheme.Undeliverable
+    else
+      match
+        let hub = Zoom.step t.zoom from i in
+        Walker.with_phase w (Trace.Zoom i) (fun () ->
+            t.underlying.Underlying.u_walk w
+              ~dest_label:(t.underlying.Underlying.u_label hub));
+        match
+          Walker.with_phase w (Trace.Ball_search i) (fun () ->
+              search t w ~hub ~level:i ~key:dest_name)
+        with
+        | Some dest_label ->
+          Walker.with_phase w Trace.Deliver (fun () ->
+              t.underlying.Underlying.u_walk w ~dest_label);
+          true
+        | None -> false
+      with
+      | true -> if !reroutes = 0 then Scheme.Delivered else Scheme.Rerouted
+      | false -> attempt from (i + 1)
+      | exception Walker.Blocked _ ->
+        incr reroutes;
+        Walker.set_phase w Trace.Faults;
+        attempt (Walker.position w) (i + 1)
+  in
+  let status =
+    match attempt (Walker.position w) 0 with
+    | status -> status
+    | exception Walker.Hop_budget_exhausted -> Scheme.Undeliverable
+  in
+  Walker.set_phase w Trace.Unphased;
+  (status, !reroutes)
+
 let peek_search t ~hub ~level ~key =
   match Hashtbl.find t.sites (level, hub) with
   | Local st -> (Search_tree.search st ~key).data
@@ -286,6 +325,23 @@ let header_bits t =
   + t.underlying.Underlying.u_header_bits
 
 let default_budget m = 50_000 + (200 * Metric.n m)
+
+let degraded_scheme t ~failures =
+  { Scheme.dg_name = "scale-free name-independent (Thm 1.1, degraded)";
+    dg_route =
+      (fun ~src ~dest_name ->
+        if Cr_sim.Failures.node_failed failures src then
+          { Scheme.d_cost = 0.0; d_hops = 0;
+            d_status = Scheme.Undeliverable; d_reroutes = 0 }
+        else begin
+          let w =
+            Walker.create ~failures t.metric ~start:src
+              ~max_hops:(default_budget t.metric)
+          in
+          let status, reroutes = walk_degraded t w ~dest_name in
+          { Scheme.d_cost = Walker.cost w; d_hops = Walker.hops w;
+            d_status = status; d_reroutes = reroutes }
+        end) }
 
 let to_scheme t =
   { Scheme.ni_name = "scale-free name-independent (Thm 1.1)";

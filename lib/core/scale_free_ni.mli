@@ -79,3 +79,16 @@ val trees_containing : t -> int -> int
 val table_bits : t -> int -> int
 val header_bits : t -> int
 val to_scheme : t -> Cr_sim.Scheme.name_independent
+
+(** Degraded-mode routing, as in [Simple_ni.walk_degraded]: [Blocked]
+    moves trigger a failover that re-enters the zooming sequence one
+    level up from the current position; returns the route status and the
+    failover count. *)
+val walk_degraded :
+  t -> Cr_sim.Walker.t -> dest_name:int ->
+  Cr_sim.Scheme.route_status * int
+
+(** [degraded_scheme t ~failures] packages {!walk_degraded} over a fixed
+    failure set. *)
+val degraded_scheme :
+  t -> failures:Cr_sim.Failures.t -> Cr_sim.Scheme.degraded

@@ -142,6 +142,49 @@ let walk ?(observe = fun (_ : level_report) -> ()) t w ~dest_name =
   in
   attempt t.min_level
 
+(* Degraded-mode variant of Algorithm 3: a [Walker.Blocked] during the
+   climb, the search round trip, or the final descent abandons the level
+   and re-enters the zooming sequence one level up, *from the packet's
+   current position* (its zoom hubs are valid from anywhere). Every hop
+   after the first failover is trace-tagged [Faults] — with_phase's
+   outer-wins rule keeps the tag through the inner scheme calls — so
+   stretch inflation under failures is attributable hop by hop. *)
+let walk_degraded t w ~dest_name =
+  let reroutes = ref 0 in
+  let rec attempt from i =
+    if i > t.top then Scheme.Undeliverable
+    else
+      match
+        let hub = Zoom.step t.zoom from i in
+        Walker.with_phase w (Trace.Zoom i) (fun () ->
+            t.underlying.Underlying.u_walk w
+              ~dest_label:(t.underlying.Underlying.u_label hub));
+        let st = Hashtbl.find t.trees (i, hub) in
+        match
+          Walker.with_phase w (Trace.Ball_search i) (fun () ->
+              execute_search t w st ~key:dest_name)
+        with
+        | Some dest_label ->
+          Walker.with_phase w Trace.Deliver (fun () ->
+              t.underlying.Underlying.u_walk w ~dest_label);
+          true
+        | None -> false
+      with
+      | true -> if !reroutes = 0 then Scheme.Delivered else Scheme.Rerouted
+      | false -> attempt from (i + 1)
+      | exception Walker.Blocked _ ->
+        incr reroutes;
+        Walker.set_phase w Trace.Faults;
+        attempt (Walker.position w) (i + 1)
+  in
+  let status =
+    match attempt (Walker.position w) t.min_level with
+    | status -> status
+    | exception Walker.Hop_budget_exhausted -> Scheme.Undeliverable
+  in
+  Walker.set_phase w Trace.Unphased;
+  (status, !reroutes)
+
 let found_level t ~src ~dest_name =
   let rec attempt i =
     if i > t.top then
@@ -163,6 +206,23 @@ let header_bits t =
   + t.underlying.Underlying.u_header_bits
 
 let default_budget m = 50_000 + (200 * Metric.n m)
+
+let degraded_scheme t ~failures =
+  { Scheme.dg_name = "simple name-independent (Thm 1.4, degraded)";
+    dg_route =
+      (fun ~src ~dest_name ->
+        if Cr_sim.Failures.node_failed failures src then
+          { Scheme.d_cost = 0.0; d_hops = 0;
+            d_status = Scheme.Undeliverable; d_reroutes = 0 }
+        else begin
+          let w =
+            Walker.create ~failures t.metric ~start:src
+              ~max_hops:(default_budget t.metric)
+          in
+          let status, reroutes = walk_degraded t w ~dest_name in
+          { Scheme.d_cost = Walker.cost w; d_hops = Walker.hops w;
+            d_status = status; d_reroutes = reroutes }
+        end) }
 
 let to_scheme t =
   { Scheme.ni_name = "simple name-independent (Thm 1.4)";

@@ -64,5 +64,22 @@ val found_level : t -> src:int -> dest_name:int -> int
     the underlying labeled scheme's tables. *)
 val table_bits : t -> int -> int
 
+(** [walk_degraded t w ~dest_name] is [walk] with failover: when the
+    walker raises [Blocked] (its failure set refuses a move), the packet
+    abandons the level and re-enters the zooming sequence one level up
+    from its *current* position; hops after the first failover are
+    trace-tagged [Faults]. Returns the route status and the number of
+    failovers taken; [Undeliverable] when the top level is exhausted or
+    the hop budget runs out. *)
+val walk_degraded :
+  t -> Cr_sim.Walker.t -> dest_name:int ->
+  Cr_sim.Scheme.route_status * int
+
+(** [degraded_scheme t ~failures] packages {!walk_degraded} over a fixed
+    failure set (a route from a failed source is [Undeliverable] at zero
+    cost). *)
+val degraded_scheme :
+  t -> failures:Cr_sim.Failures.t -> Cr_sim.Scheme.degraded
+
 val header_bits : t -> int
 val to_scheme : t -> Cr_sim.Scheme.name_independent

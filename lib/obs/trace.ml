@@ -8,6 +8,7 @@ type phase =
   | Teleport
   | Deliver
   | Fallback
+  | Faults
 
 let phase_label = function
   | Unphased -> "unphased"
@@ -19,11 +20,12 @@ let phase_label = function
   | Teleport -> "teleport"
   | Deliver -> "deliver"
   | Fallback -> "fallback"
+  | Faults -> "faults"
 
 let phase_level = function
   | Zoom i | Ball_search i -> Some i
   | Unphased | Net_phase | Voronoi_phase | Search_tree_phase | Teleport
-  | Deliver | Fallback ->
+  | Deliver | Fallback | Faults ->
     None
 
 let pp_phase ppf p =

@@ -19,7 +19,9 @@
     search-tree phases (labeled schemes). [Deliver] is the final descent to
     the destination once its label is known; [Fallback] marks hops off the
     theorem's fast path; [Teleport] tags out-of-band hand-offs that occur
-    outside any phase. *)
+    outside any phase; [Faults] tags every hop taken after a degraded-mode
+    reroute (Cr_sim.Walker failover), so stretch inflation under failures
+    is attributable hop by hop. *)
 type phase =
   | Unphased
   | Zoom of int  (** climbing to the level-[i] hub of the zooming sequence *)
@@ -30,6 +32,7 @@ type phase =
   | Teleport
   | Deliver
   | Fallback
+  | Faults  (** hops taken after a failure-triggered reroute *)
 
 (** [phase_label p] is a stable lowercase tag (no level), e.g. ["zoom"]. *)
 val phase_label : phase -> string

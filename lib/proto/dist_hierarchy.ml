@@ -13,7 +13,7 @@ type result = {
   total_messages : int;
 }
 
-let build m =
+let build ?via m =
   let g = Metric.graph m in
   let n = Metric.n m in
   let top = Metric.levels m in
@@ -23,7 +23,7 @@ let build m =
   let total = ref 0 in
   for i = top - 1 downto 1 do
     let r = Float.pow 2.0 (float_of_int i) in
-    let election = Net_election.run g ~r ~seeds:nets.(i + 1) in
+    let election = Net_election.run ?via g ~r ~seeds:nets.(i + 1) in
     nets.(i) <- election.Net_election.net;
     let messages =
       election.Net_election.discovery.Network.messages

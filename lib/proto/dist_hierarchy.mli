@@ -22,5 +22,6 @@ type result = {
 }
 
 (** [build m] runs the elections over the metric's graph; levels and radii
-    match [Cr_nets.Hierarchy.build m]. *)
-val build : Cr_metric.Metric.t -> result
+    match [Cr_nets.Hierarchy.build m]. [via] selects the transport for
+    every election (default: the plain local simulator). *)
+val build : ?via:Network.runner -> Cr_metric.Metric.t -> result

@@ -13,7 +13,7 @@ type result = {
   stats : Network.stats;
 }
 
-let parents_for_level ?max_messages ?jitter m ~members ~upper ~radius =
+let parents_for_level ?max_messages ?jitter ?via m ~members ~upper ~radius =
   let g = Metric.graph m in
   let n = Metric.n m in
   let max_messages =
@@ -21,9 +21,8 @@ let parents_for_level ?max_messages ?jitter m ~members ~upper ~radius =
     | Some mm -> mm
     | None -> 1000 + (200 * n * n)
   in
-  let net =
-    Network.create ?jitter g ~init:(fun _ ->
-        { choice = None; seen = Hashtbl.create 8 })
+  let runner =
+    match via with Some r -> r | None -> Network.local ?jitter ()
   in
   let handler (actions : announce Network.actions) ~self state
       (Announce { origin; traveled }) =
@@ -47,21 +46,32 @@ let parents_for_level ?max_messages ?jitter m ~members ~upper ~radius =
     end;
     state
   in
-  List.iter
-    (fun u -> Network.inject net ~dst:u (Announce { origin = u; traveled = 0.0 }))
-    upper;
-  let stats = Network.run net ~handler ~max_messages in
+  let kickoff =
+    List.map (fun u -> (u, Announce { origin = u; traveled = 0.0 })) upper
+  in
+  let states, stats =
+    runner.Network.execute g ~protocol:"dist_netting"
+      ~init:(fun _ -> { choice = None; seen = Hashtbl.create 8 })
+      ~handler ~kickoff ~max_messages
+  in
   let parent = Array.make n (-1) in
   List.iter
     (fun x ->
-      match (Network.state net x).choice with
+      match states.(x).choice with
       | Some (_, id) -> parent.(x) <- id
-      | None -> failwith "Dist_netting: covering bound violated")
+      | None ->
+        raise
+          (Network.Protocol_error
+             { protocol = "dist_netting";
+               node = Some x;
+               stats;
+               detail =
+                 Printf.sprintf "covering bound violated (radius %g)" radius }))
     members;
   { parent; stats }
 
-let all_parents m =
-  let hierarchy = Dist_hierarchy.build m in
+let all_parents ?via m =
+  let hierarchy = Dist_hierarchy.build ?via m in
   let top = Array.length hierarchy.Dist_hierarchy.nets - 1 in
   let messages = ref 0 in
   let makespan = ref 0.0 in
@@ -69,7 +79,7 @@ let all_parents m =
     Array.init (top + 1) (fun i ->
         if i >= top then Array.make (Metric.n m) (-1)
         else begin
-          let r = parents_for_level m
+          let r = parents_for_level ?via m
               ~members:hierarchy.Dist_hierarchy.nets.(i)
               ~upper:hierarchy.Dist_hierarchy.nets.(i + 1)
               ~radius:(Float.pow 2.0 (float_of_int (i + 1)))

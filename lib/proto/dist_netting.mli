@@ -22,10 +22,14 @@ type result = {
 
 (** [parents_for_level m ~members ~upper ~radius] runs one level's
     announcements: [upper] (the level-(i+1) net) floods within [radius]
-    (inclusive) and every node of [members] records its choice. *)
+    (inclusive) and every node of [members] records its choice. [via]
+    selects the transport (default [Network.local ?jitter ()]). Raises
+    [Network.Protocol_error] (protocol ["dist_netting"]) if a member heard
+    no announcement — a covering-bound violation. *)
 val parents_for_level :
   ?max_messages:int ->
   ?jitter:int * float ->
+  ?via:Network.runner ->
   Cr_metric.Metric.t ->
   members:int list ->
   upper:int list ->
@@ -34,6 +38,7 @@ val parents_for_level :
 
 (** [all_parents m] runs every level of the hierarchy of [m] and returns
     parents.(i).(x) for x in Y_i (computed with a fresh Dist_hierarchy
-    election), with total message statistics. *)
+    election over the same [via] transport), with total message
+    statistics. *)
 val all_parents :
-  Cr_metric.Metric.t -> int array array * Network.stats
+  ?via:Network.runner -> Cr_metric.Metric.t -> int array array * Network.stats

@@ -29,14 +29,8 @@ type a_msg =
   | Cand of { origin : int; r : float; traveled : float; from : int }
   | Note of { target : int; partner : int; partner_r : float }
 
-let discovery_phase g ~radius ~jitter ~max_messages =
+let discovery_phase g ~radius ~runner ~max_messages =
   let n = Graph.n g in
-  let net =
-    Network.create ?jitter g ~init:(fun _ ->
-        { cands = Hashtbl.create 8;
-          witnessed = Hashtbl.create 8;
-          conflicts = Hashtbl.create 8 })
-  in
   let deliver_note (actions : a_msg Network.actions) ~self state ~target
       ~partner ~partner_r =
     if target = self then Hashtbl.replace state.conflicts partner partner_r
@@ -88,12 +82,16 @@ let discovery_phase g ~radius ~jitter ~max_messages =
       end;
       state
   in
-  for u = 0 to n - 1 do
-    Network.inject net ~dst:u
-      (Cand { origin = u; r = radius.(u); traveled = 0.0; from = -1 })
-  done;
-  let stats = Network.run net ~handler ~max_messages in
-  (Array.init n (fun v -> Network.state net v), stats)
+  let kickoff =
+    List.init n (fun u ->
+        (u, Cand { origin = u; r = radius.(u); traveled = 0.0; from = -1 }))
+  in
+  runner.Network.execute g ~protocol:"dist_packing.discovery"
+    ~init:(fun _ ->
+      { cands = Hashtbl.create 8;
+        witnessed = Hashtbl.create 8;
+        conflicts = Hashtbl.create 8 })
+    ~handler ~kickoff ~max_messages
 
 (* ---- phase B: wait-for-smaller election over the conflict graph ---- *)
 
@@ -110,13 +108,8 @@ type b_msg =
                   from : int }
   | Relay of { target : int; partner : int; verdict : bool }
 
-let election_phase g ~radius ~a_states ~jitter ~max_messages =
+let election_phase g ~radius ~a_states ~runner ~max_messages =
   let n = Graph.n g in
-  let net =
-    Network.create ?jitter g ~init:(fun _ ->
-        { status = None; heard = Hashtbl.create 8; seen = Hashtbl.create 8;
-          relayed = Hashtbl.create 8 })
-  in
   let flood_decision (actions : b_msg Network.actions) self verdict =
     let r = radius.(self) in
     Graph.iter_neighbors g self (fun v w ->
@@ -216,35 +209,42 @@ let election_phase g ~radius ~a_states ~jitter ~max_messages =
       end;
       state
   in
-  for u = 0 to n - 1 do
-    Network.inject net ~dst:u Kick
-  done;
-  let stats = Network.run net ~handler ~max_messages in
+  let kickoff = List.init n (fun u -> (u, Kick)) in
+  let states, stats =
+    runner.Network.execute g ~protocol:"dist_packing.election"
+      ~init:(fun _ ->
+        { status = None; heard = Hashtbl.create 8; seen = Hashtbl.create 8;
+          relayed = Hashtbl.create 8 })
+      ~handler ~kickoff ~max_messages
+  in
   let accepted = ref [] in
   for u = n - 1 downto 0 do
-    match (Network.state net u).status with
+    match states.(u).status with
     | Some true -> accepted := u :: !accepted
     | Some false -> ()
     | None ->
-      let state = Network.state net u in
       let pending =
         Tbl.fold_sorted ~cmp:Int.compare
           (fun partner partner_r acc ->
             if
               precedes (partner_r, partner) (radius.(u), u)
-              && not (Hashtbl.mem state.heard partner)
+              && not (Hashtbl.mem states.(u).heard partner)
             then partner :: acc
             else acc)
           a_states.(u).conflicts []
       in
-      failwith
-        (Printf.sprintf
-           "Dist_packing: node %d undecided, waiting on [%s]" u
-           (String.concat ";" (List.map string_of_int pending)))
+      raise
+        (Network.Protocol_error
+           { protocol = "dist_packing";
+             node = Some u;
+             stats;
+             detail =
+               Printf.sprintf "node undecided, waiting on [%s]"
+                 (String.concat ";" (List.map string_of_int pending)) })
   done;
   (!accepted, stats)
 
-let run ?max_messages ?jitter g ~distances ~j =
+let run ?max_messages ?jitter ?via g ~distances ~j =
   let n = Graph.n g in
   if j < 0 || 1 lsl j > n then
     invalid_arg "Dist_packing.run: 2^j must be at most n";
@@ -253,11 +253,14 @@ let run ?max_messages ?jitter g ~distances ~j =
     | Some m -> m
     | None -> 1000 + (500 * n * n)
   in
+  let runner =
+    match via with Some r -> r | None -> Network.local ?jitter ()
+  in
   let radius =
     Array.init n (fun u -> Dist_radii.radius_of_size distances u (1 lsl j))
   in
-  let a_states, discovery = discovery_phase g ~radius ~jitter ~max_messages in
+  let a_states, discovery = discovery_phase g ~radius ~runner ~max_messages in
   let accepted, election =
-    election_phase g ~radius ~a_states ~jitter ~max_messages
+    election_phase g ~radius ~a_states ~runner ~max_messages
   in
   { accepted; radius; discovery; election }

@@ -7,16 +7,19 @@ type result = {
   stats : Network.stats;
 }
 
-let run ?max_messages ?jitter g =
+let run ?max_messages ?jitter ?via g =
   let n = Graph.n g in
   let max_messages =
     match max_messages with
     | Some m -> m
     | None -> 1000 + (400 * n * n)
   in
+  let runner =
+    match via with Some r -> r | None -> Network.local ?jitter ()
+  in
   (* all entries start at infinity — including the node's own, so that the
      kick-off self-message passes the relaxation guard and floods out *)
-  let net = Network.create ?jitter g ~init:(fun _ -> Array.make n infinity) in
+  let init _ = Array.make n infinity in
   let handler (actions : msg Network.actions) ~self dist
       (Hello { origin; traveled }) =
     if traveled < dist.(origin) then begin
@@ -26,11 +29,14 @@ let run ?max_messages ?jitter g =
     end;
     dist
   in
-  for v = 0 to n - 1 do
-    Network.inject net ~dst:v (Hello { origin = v; traveled = 0.0 })
-  done;
-  let stats = Network.run net ~handler ~max_messages in
-  { distances = Array.init n (fun v -> Network.state net v); stats }
+  let kickoff =
+    List.init n (fun v -> (v, Hello { origin = v; traveled = 0.0 }))
+  in
+  let states, stats =
+    runner.Network.execute g ~protocol:"dist_radii" ~init ~handler ~kickoff
+      ~max_messages
+  in
+  { distances = states; stats }
 
 let radius_of_size distances u size =
   let row = Array.copy distances.(u) in

@@ -14,8 +14,15 @@ type result = {
   stats : Network.stats;
 }
 
-(** [run g] floods to quiescence. *)
-val run : ?max_messages:int -> ?jitter:int * float -> Cr_metric.Graph.t -> result
+(** [run g] floods to quiescence. [via] selects the transport (default
+    [Network.local ?jitter ()]); the relaxation guard keeps the handler
+    idempotent, so any at-least-once transport yields the same profiles. *)
+val run :
+  ?max_messages:int ->
+  ?jitter:int * float ->
+  ?via:Network.runner ->
+  Cr_metric.Graph.t ->
+  result
 
 (** [radius_of_size distances u size] is r_u for a ball of [size] nodes,
     computed from a node's local distance profile. *)

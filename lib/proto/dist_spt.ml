@@ -14,39 +14,51 @@ type result = {
   stats : Network.stats;
 }
 
-let run ?max_messages ?jitter g ~root =
+let run ?max_messages ?jitter ?via g ~root =
   let n = Graph.n g in
   let max_messages =
     match max_messages with
     | Some m -> m
     | None -> 1000 + (100 * n * n)
   in
-  let net =
-    Network.create ?jitter g ~init:(fun v ->
-        if v = root then { best = 0.0; via = -1 }
-        else { best = infinity; via = -1 })
+  let runner =
+    match via with Some r -> r | None -> Network.local ?jitter ()
+  in
+  let init v =
+    if v = root then { best = 0.0; via = -1 }
+    else { best = infinity; via = -1 }
   in
   let announce (actions : msg Network.actions) self d =
     Graph.iter_neighbors g self (fun v w ->
         actions.Network.send v (Offer (d +. w, self)))
   in
-  let improve actions ~self state = function
+  let handler actions ~self state = function
+    | Offer (0.0, -1) when self = root ->
+      (* kick-off: the root offers itself distance 0 (self-delivered); a
+         duplicate delivery re-announces the same offers, which no
+         neighbor can improve on — idempotent under at-least-once
+         transports *)
+      announce actions self 0.0;
+      state
     | Offer (d, from) ->
       if d < state.best then begin
         announce actions self d;
         { best = d; via = from }
       end
+      else if d = state.best && from >= 0 && from < state.via then
+        (* confluent tie-break: among equal-cost predecessors keep the
+           least id, so the final tree is a pure function of the metric —
+           independent of delivery order, and hence identical under
+           jitter, duplication, and retransmission. The announcement
+           carries no predecessor, so no re-flood is needed. *)
+        { state with via = from }
       else state
   in
-  (* Kick off: the root offers itself distance 0 (self-delivered). *)
-  Network.inject net ~dst:root (Offer (0.0, -1));
-  let handler actions ~self state = function
-    | Offer (0.0, -1) when self = root ->
-      announce actions self 0.0;
-      state
-    | msg -> improve actions ~self state msg
+  let states, stats =
+    runner.Network.execute g ~protocol:"dist_spt" ~init ~handler
+      ~kickoff:[ (root, Offer (0.0, -1)) ]
+      ~max_messages
   in
-  let stats = Network.run net ~handler ~max_messages in
-  { dist = Array.init n (fun v -> (Network.state net v).best);
-    pred = Array.init n (fun v -> (Network.state net v).via);
+  { dist = Array.map (fun s -> s.best) states;
+    pred = Array.map (fun s -> s.via) states;
     stats }

@@ -7,7 +7,11 @@
     distributed counterpart of the centralized Dijkstra pass the schemes'
     preprocessing uses to build Voronoi trees and next-hop tables, and the
     message counts reported here cost out that preprocessing in the
-    asynchronous message-passing model. *)
+    asynchronous message-passing model.
+
+    The improvement guard makes the handler idempotent, so the protocol
+    converges to the same tree under any at-least-once transport — in
+    particular under [Cr_fault.Reliable.runner] passed as [via]. *)
 
 type result = {
   dist : float array;
@@ -15,8 +19,14 @@ type result = {
   stats : Network.stats;
 }
 
-(** [run g ~root] executes the protocol to quiescence.
-    [max_messages] defaults to a generous polynomial budget. *)
+(** [run g ~root] executes the protocol to quiescence. [via] selects the
+    transport (default [Network.local ?jitter ()]); [jitter] is ignored
+    when [via] is given. Raises [Network.Protocol_error] (protocol
+    ["dist_spt"]) past [max_messages] (default: a generous polynomial). *)
 val run :
-  ?max_messages:int -> ?jitter:int * float -> Cr_metric.Graph.t -> root:int ->
+  ?max_messages:int ->
+  ?jitter:int * float ->
+  ?via:Network.runner ->
+  Cr_metric.Graph.t ->
+  root:int ->
   result

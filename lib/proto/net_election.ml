@@ -17,11 +17,8 @@ type result = {
    distance and seed-ness per origin (strictly within r). *)
 type hello = Hello of { origin : int; seed : bool; traveled : float }
 
-let discovery_phase g ~r ~is_seed ~jitter ~max_messages =
-  let net =
-    Network.create ?jitter g
-      ~init:(fun _ : (int, bool * float) Hashtbl.t -> Hashtbl.create 8)
-  in
+let discovery_phase g ~r ~is_seed ~runner ~max_messages =
+  let n = Graph.n g in
   let handler (actions : hello Network.actions) ~self known
       (Hello { origin; seed; traveled }) =
     let best = Hashtbl.find_opt known origin in
@@ -37,17 +34,17 @@ let discovery_phase g ~r ~is_seed ~jitter ~max_messages =
     end;
     known
   in
-  for v = 0 to Graph.n g - 1 do
-    Network.inject net ~dst:v
-      (Hello { origin = v; seed = is_seed v; traveled = 0.0 })
-  done;
-  let stats = Network.run net ~handler ~max_messages in
-  let known =
-    Array.init (Graph.n g) (fun v ->
-        let tbl = Network.state net v in
-        Hashtbl.remove tbl v;  (* self-knowledge is implicit *)
-        tbl)
+  let kickoff =
+    List.init n (fun v ->
+        (v, Hello { origin = v; seed = is_seed v; traveled = 0.0 }))
   in
+  let known, stats =
+    runner.Network.execute g ~protocol:"net_election.discovery"
+      ~init:(fun _ : (int, bool * float) Hashtbl.t -> Hashtbl.create 8)
+      ~handler ~kickoff ~max_messages
+  in
+  Array.iteri (fun v tbl -> Hashtbl.remove tbl v) known;
+  (* self-knowledge is implicit *)
   (known, stats)
 
 (* Phase 2: decisions flood within the same radius. *)
@@ -63,26 +60,30 @@ type node_state = {
   mutable status : status option;
   heard : (int, verdict * float) Hashtbl.t;  (* decisions, best distance *)
   seen : (int, float) Hashtbl.t;  (* flood dedup: best traveled per origin *)
+  mutable pending : int;  (* smaller-id non-seeds in range not yet heard *)
+  mutable heard_in : bool;  (* some decision in [heard] is V_in *)
 }
 
-let election_phase g ~r ~known ~is_seed ~jitter ~max_messages =
+let election_phase g ~r ~known ~is_seed ~runner ~max_messages =
   let n = Graph.n g in
-  let net =
-    Network.create ?jitter g ~init:(fun _ ->
-        { status = None; heard = Hashtbl.create 8; seen = Hashtbl.create 8 })
+  (* The in-range id sets are static after phase 1, so the wait-for-smaller
+     predicate is precomputed per node and maintained as an O(1) counter:
+     re-folding [known]/[heard] per delivered message turned the election
+     quadratic per delivery (minutes on grid-32x32). Seeds are already
+     members: a non-seed must wait only for non-seed smaller ids (seeds
+     block it outright, at any id). *)
+  let seed_in_range =
+    Array.init n (fun v ->
+        Tbl.fold_sorted ~cmp:Int.compare
+          (fun _ (seed, _) acc -> acc || seed)
+          known.(v) false)
   in
-  (* Seeds are already members: a non-seed must wait only for non-seed
-     smaller ids (seeds block it outright, at any id). *)
-  let smaller_in_range self =
-    Tbl.fold_sorted ~cmp:Int.compare
-      (fun o (seed, _) acc ->
-        if (not seed) && o < self then o :: acc else acc)
-      known.(self) []
-  in
-  let seed_in_range self =
-    Tbl.fold_sorted ~cmp:Int.compare
-      (fun _ (seed, _) acc -> acc || seed)
-      known.(self) false
+  let smaller_count =
+    Array.init n (fun v ->
+        Tbl.fold_sorted ~cmp:Int.compare
+          (fun o (seed, _) acc ->
+            if (not seed) && o < v then acc + 1 else acc)
+          known.(v) 0)
   in
   let flood_own (actions : decision Network.actions) self verdict =
     Graph.iter_neighbors g self (fun v w ->
@@ -96,30 +97,27 @@ let election_phase g ~r ~known ~is_seed ~jitter ~max_messages =
         state.status <- Some In;
         flood_own actions self V_in
       end
-      else begin
-        let blocked =
-          seed_in_range self
-          || Tbl.fold_sorted ~cmp:Int.compare
-               (fun _ (verdict, _) acc -> acc || verdict = V_in)
-               state.heard false
-        in
-        if blocked then begin
-          state.status <- Some Out;
-          flood_own actions self V_out
-        end
-        else begin
-          let pending =
-            List.filter
-              (fun o -> not (Hashtbl.mem state.heard o))
-              (smaller_in_range self)
-          in
-          if pending = [] then begin
-            state.status <- Some In;
-            flood_own actions self V_in
-          end
-        end
+      else if seed_in_range.(self) || state.heard_in then begin
+        state.status <- Some Out;
+        flood_own actions self V_out
+      end
+      else if state.pending = 0 then begin
+        state.status <- Some In;
+        flood_own actions self V_in
       end
     end
+  in
+  let record_heard self state origin verdict traveled =
+    match Hashtbl.find_opt state.heard origin with
+    | Some (_, d) ->
+      (* a node floods exactly one verdict; only the distance can improve *)
+      if traveled < d then Hashtbl.replace state.heard origin (verdict, traveled)
+    | None ->
+      Hashtbl.replace state.heard origin (verdict, traveled);
+      if verdict = V_in then state.heard_in <- true;
+      (match Hashtbl.find_opt known.(self) origin with
+      | Some (false, _) when origin < self -> state.pending <- state.pending - 1
+      | _ -> ())
   in
   let handler (actions : decision Network.actions) ~self state = function
     | Check ->
@@ -129,9 +127,7 @@ let election_phase g ~r ~known ~is_seed ~jitter ~max_messages =
       let best = Hashtbl.find_opt state.seen origin in
       if traveled < r && (best = None || traveled < Option.get best) then begin
         Hashtbl.replace state.seen origin traveled;
-        (match Hashtbl.find_opt state.heard origin with
-        | Some (_, d) when d <= traveled -> ()
-        | _ -> Hashtbl.replace state.heard origin (verdict, traveled));
+        record_heard self state origin verdict traveled;
         Graph.iter_neighbors g self (fun v w ->
             if traveled +. w < r then
               actions.Network.send v
@@ -140,19 +136,26 @@ let election_phase g ~r ~known ~is_seed ~jitter ~max_messages =
       try_decide actions self state;
       state
   in
-  for v = 0 to n - 1 do
-    Network.inject net ~dst:v Check
-  done;
-  let stats = Network.run net ~handler ~max_messages in
-  (Array.init n (fun v -> Network.state net v), stats)
+  let kickoff = List.init n (fun v -> (v, Check)) in
+  runner.Network.execute g ~protocol:"net_election.election"
+    ~init:(fun v ->
+      { status = None;
+        heard = Hashtbl.create 8;
+        seen = Hashtbl.create 8;
+        pending = smaller_count.(v);
+        heard_in = false })
+    ~handler ~kickoff ~max_messages
 
-let run ?max_messages ?jitter ?(seeds = []) g ~r =
+let run ?max_messages ?jitter ?via ?(seeds = []) g ~r =
   if r <= 0.0 then invalid_arg "Net_election.run: r must be positive";
   let n = Graph.n g in
   let max_messages =
     match max_messages with
     | Some m -> m
     | None -> 1000 + (200 * n * n)
+  in
+  let runner =
+    match via with Some rn -> rn | None -> Network.local ?jitter ()
   in
   let seed_flags = Array.make n false in
   List.iter
@@ -161,16 +164,24 @@ let run ?max_messages ?jitter ?(seeds = []) g ~r =
       seed_flags.(s) <- true)
     seeds;
   let is_seed v = seed_flags.(v) in
-  let known, discovery = discovery_phase g ~r ~is_seed ~jitter ~max_messages in
+  let known, discovery =
+    discovery_phase g ~r ~is_seed ~runner ~max_messages
+  in
   let states, election =
-    election_phase g ~r ~known ~is_seed ~jitter ~max_messages
+    election_phase g ~r ~known ~is_seed ~runner ~max_messages
   in
   let status =
-    Array.map
-      (fun s ->
+    Array.mapi
+      (fun v s ->
         match s.status with
         | Some st -> st
-        | None -> failwith "Net_election.run: protocol did not quiesce")
+        | None ->
+          raise
+            (Network.Protocol_error
+               { protocol = "net_election";
+                 node = Some v;
+                 stats = election;
+                 detail = "protocol did not quiesce" }))
       states
   in
   let net_members = ref [] in

@@ -34,8 +34,13 @@ type result = {
     pre-elected members (used to build the *nested* hierarchy: level i's
     election is seeded with level i+1's net, exactly like the centralized
     construction of Section 2); they block any non-seed within < r
-    regardless of id. Raises [Failure] if a phase exceeds [max_messages]
-    (default: generous polynomial). *)
+    regardless of id. [via] selects the transport for both phases (default
+    [Network.local ?jitter ()]); the flood-dedup guards keep both handlers
+    idempotent under at-least-once delivery. Raises
+    [Network.Protocol_error] (protocols ["net_election.discovery"] /
+    ["net_election.election"]) if a phase exceeds [max_messages] (default:
+    generous polynomial), or (protocol ["net_election"]) if some node ends
+    the election undecided. *)
 val run :
-  ?max_messages:int -> ?jitter:int * float -> ?seeds:int list ->
-  Cr_metric.Graph.t -> r:float -> result
+  ?max_messages:int -> ?jitter:int * float -> ?via:Network.runner ->
+  ?seeds:int list -> Cr_metric.Graph.t -> r:float -> result

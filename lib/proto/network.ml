@@ -1,34 +1,80 @@
 module Graph = Cr_metric.Graph
 module Trace = Cr_obs.Trace
 
+type kind =
+  | Edge_msg of int  (* sending neighbor *)
+  | Timer_msg
+  | External_msg
+
 type 'msg envelope = {
   dst : int;
   payload : 'msg;
+  kind : kind;
 }
+
+type fault_hooks = {
+  copies : src:int -> dst:int -> delay:float -> float list;
+  down_until : node:int -> time:float -> float option;
+}
+
+type fault_counts = {
+  sent_dropped : int;
+  sent_duplicated : int;
+  sent_delayed : int;
+  crash_lost : int;
+  timers_deferred : int;
+}
+
+let no_fault_counts =
+  { sent_dropped = 0; sent_duplicated = 0; sent_delayed = 0; crash_lost = 0;
+    timers_deferred = 0 }
 
 type ('msg, 'state) t = {
   graph : Graph.t;
   states : 'state array;
   queue : 'msg envelope Pqueue.t;
   jitter : (int64 ref * float) option;
+  hooks : fault_hooks option;
   obs : Trace.context;
   deliveries : int array;  (* messages delivered per node *)
   rounds : (int, int) Hashtbl.t;  (* floor(delivery time) -> deliveries *)
   mutable seq : int;
   mutable now : float;
   mutable messages : int;
+  mutable timers : int;
   mutable makespan : float;
+  mutable faults : fault_counts;
 }
 
 type 'msg actions = {
   now : float;
   send : int -> 'msg -> unit;
+  timer : delay:float -> 'msg -> unit;
 }
 
 type stats = {
   messages : int;
   makespan : float;
 }
+
+type protocol_error = {
+  protocol : string;
+  node : int option;
+  stats : stats;
+  detail : string;
+}
+
+exception Protocol_error of protocol_error
+
+let error_message e =
+  Printf.sprintf "%s:%s %s (after %d deliveries, makespan %g)" e.protocol
+    (match e.node with Some v -> Printf.sprintf " node %d:" v | None -> "")
+    e.detail e.stats.messages e.stats.makespan
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_error e -> Some ("Protocol_error: " ^ error_message e)
+    | _ -> None)
 
 (* splitmix64 step for the jitter stream (self-contained, deterministic) *)
 let splitmix state =
@@ -38,7 +84,7 @@ let splitmix state =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ?obs ?jitter graph ~init =
+let create ?obs ?jitter ?faults graph ~init =
   { graph;
     states = Array.init (Graph.n graph) init;
     queue = Pqueue.create ();
@@ -49,13 +95,16 @@ let create ?obs ?jitter graph ~init =
             invalid_arg "Network.create: negative jitter magnitude";
           (ref (Int64.of_int (seed + 1)), magnitude))
         jitter;
+    hooks = faults;
     obs = Trace.resolve obs;
     deliveries = Array.make (Graph.n graph) 0;
     rounds = Hashtbl.create 64;
     seq = 0;
     now = 0.0;
     messages = 0;
-    makespan = 0.0 }
+    timers = 0;
+    makespan = 0.0;
+    faults = no_fault_counts }
 
 let perturb t delay =
   match t.jitter with
@@ -71,39 +120,154 @@ let state t v = t.states.(v)
 
 let deliveries t = Array.copy t.deliveries
 
+let fault_counts t = t.faults
+
+let timer_events t = t.timers
+
 let round_histogram t = Cr_metric.Tbl.sorted_bindings ~cmp:Int.compare t.rounds
 
-let enqueue t ~time ~dst payload =
-  Pqueue.push t.queue ~time ~seq:t.seq { dst; payload };
+(* Every enqueue — sends (and their fault-injected duplicate copies),
+   timers, injects — draws from the one global sequence counter at enqueue
+   time, so the (delivery time, send order) tie-break is total and
+   identical however a message entered the simulator. *)
+let enqueue t ~time ~dst ~kind payload =
+  Pqueue.push t.queue ~time ~seq:t.seq { dst; payload; kind };
   t.seq <- t.seq + 1
 
-let inject t ~dst msg = enqueue t ~time:t.now ~dst msg
+let inject t ~dst msg = enqueue t ~time:t.now ~dst ~kind:External_msg msg
 
-let run t ~handler ~max_messages =
+(* A send crosses the fault layer: the plan may drop the message, deliver
+   extra copies, or inflate individual copy delays. Every surviving copy is
+   sequenced immediately (send order), never at delivery time. *)
+let faulted_send t ~src ~dst ~delay msg =
+  match t.hooks with
+  | None -> enqueue t ~time:(t.now +. delay) ~dst ~kind:(Edge_msg src) msg
+  | Some hooks ->
+    let delays = hooks.copies ~src ~dst ~delay in
+    let copies = List.length delays in
+    let f = t.faults in
+    if copies = 0 then t.faults <- { f with sent_dropped = f.sent_dropped + 1 }
+    else begin
+      if copies > 1 then
+        t.faults <-
+          { t.faults with
+            sent_duplicated = t.faults.sent_duplicated + copies - 1 };
+      if List.exists (fun d -> d > delay) delays then
+        t.faults <- { t.faults with sent_delayed = t.faults.sent_delayed + 1 };
+      List.iter
+        (fun d ->
+          if d < delay then
+            invalid_arg "Network: fault plan shrank a delivery delay";
+          enqueue t ~time:(t.now +. d) ~dst ~kind:(Edge_msg src) msg)
+        delays
+    end
+
+let down_until t ~node ~time =
+  match t.hooks with
+  | None -> None
+  | Some hooks -> hooks.down_until ~node ~time
+
+let run ?(protocol = "network") (t : (_, _) t) ~handler ~max_messages =
+  let budget_error dst =
+    raise
+      (Protocol_error
+         { protocol;
+           node = Some dst;
+           stats = { messages = t.messages; makespan = t.makespan };
+           detail =
+             Printf.sprintf "message budget exhausted (max %d)" max_messages })
+  in
   while not (Pqueue.is_empty t.queue) do
-    let time, { dst; payload } = Pqueue.pop_min t.queue in
+    let time, { dst; payload; kind } = Pqueue.pop_min t.queue in
     t.now <- time;
-    t.messages <- t.messages + 1;
-    t.makespan <- Float.max t.makespan time;
-    if t.messages > max_messages then
-      failwith "Network.run: message budget exhausted";
-    t.deliveries.(dst) <- t.deliveries.(dst) + 1;
-    let round = int_of_float (Float.floor time) in
-    (match Hashtbl.find_opt t.rounds round with
-    | Some c -> Hashtbl.replace t.rounds round (c + 1)
-    | None -> Hashtbl.add t.rounds round 1);
-    if Trace.enabled t.obs then
-      Trace.message t.obs ~node:dst ~round ~time;
-    let send neighbor msg =
-      match Graph.edge_weight t.graph dst neighbor with
-      | None -> invalid_arg "Network.send: not a neighbor"
-      | Some w -> enqueue t ~time:(time +. perturb t w) ~dst:neighbor msg
+    let deliverable =
+      match kind with
+      | Timer_msg | External_msg -> (
+        (* a down node's timers and boot injections are deferred to its
+           recovery, not lost: retransmission daemons and program starts
+           survive a crash-recover *)
+        match down_until t ~node:dst ~time with
+        | None -> true
+        | Some recovery ->
+          t.faults <-
+            { t.faults with timers_deferred = t.faults.timers_deferred + 1 };
+          enqueue t ~time:(Float.max recovery time) ~dst ~kind payload;
+          false)
+      | Edge_msg _ -> (
+        match down_until t ~node:dst ~time with
+        | None -> true
+        | Some _ ->
+          (* the node is down: the edge message is lost; a hardened
+             transport must retransmit it past the recovery *)
+          t.faults <- { t.faults with crash_lost = t.faults.crash_lost + 1 };
+          false)
     in
-    t.states.(dst) <-
-      handler { now = time; send } ~self:dst t.states.(dst) payload
+    if deliverable then begin
+      (match kind with
+      | Timer_msg ->
+        t.timers <- t.timers + 1;
+        t.makespan <- Float.max t.makespan time;
+        if t.messages + t.timers > max_messages then budget_error dst
+      | Edge_msg _ | External_msg ->
+        t.messages <- t.messages + 1;
+        t.makespan <- Float.max t.makespan time;
+        if t.messages + t.timers > max_messages then budget_error dst;
+        t.deliveries.(dst) <- t.deliveries.(dst) + 1;
+        let round = int_of_float (Float.floor time) in
+        (match Hashtbl.find_opt t.rounds round with
+        | Some c -> Hashtbl.replace t.rounds round (c + 1)
+        | None -> Hashtbl.add t.rounds round 1);
+        if Trace.enabled t.obs then
+          Trace.message t.obs ~node:dst ~round ~time);
+      let send neighbor msg =
+        match Graph.edge_weight t.graph dst neighbor with
+        | None -> invalid_arg "Network.send: not a neighbor"
+        | Some w -> faulted_send t ~src:dst ~dst:neighbor ~delay:(perturb t w) msg
+      in
+      let timer ~delay msg =
+        if delay < 0.0 then invalid_arg "Network.timer: negative delay";
+        enqueue t ~time:(time +. delay) ~dst ~kind:Timer_msg msg
+      in
+      t.states.(dst) <- handler { now = time; send; timer } ~self:dst t.states.(dst) payload
+    end
   done;
   if Trace.enabled t.obs then begin
     Trace.counter t.obs "network.messages" (float_of_int t.messages);
-    Trace.counter t.obs "network.makespan" t.makespan
+    Trace.counter t.obs "network.makespan" t.makespan;
+    (* only when the plan actually perturbed something: an inert (null)
+       plan must leave the trace byte-identical to a fault-free run *)
+    if t.faults <> no_fault_counts then begin
+      Trace.counter t.obs "network.faults.dropped"
+        (float_of_int t.faults.sent_dropped);
+      Trace.counter t.obs "network.faults.duplicated"
+        (float_of_int t.faults.sent_duplicated);
+      Trace.counter t.obs "network.faults.crash_lost"
+        (float_of_int t.faults.crash_lost)
+    end
   end;
   { messages = t.messages; makespan = t.makespan }
+
+(* First-class protocol execution: concrete protocols describe themselves
+   as (init, handler, kickoff) and a runner decides how the messages
+   actually travel — the plain simulator below, or a hardened transport
+   (Cr_fault.Reliable) layered over a fault plan. *)
+
+type runner = {
+  execute :
+    'msg 'state.
+    Graph.t ->
+    protocol:string ->
+    init:(int -> 'state) ->
+    handler:('msg actions -> self:int -> 'state -> 'msg -> 'state) ->
+    kickoff:(int * 'msg) list ->
+    max_messages:int ->
+    'state array * stats;
+}
+
+let local ?obs ?jitter () =
+  { execute =
+      (fun g ~protocol ~init ~handler ~kickoff ~max_messages ->
+        let net = create ?obs ?jitter g ~init in
+        List.iter (fun (dst, msg) -> inject net ~dst msg) kickoff;
+        let stats = run ~protocol net ~handler ~max_messages in
+        (Array.init (Graph.n g) (state net), stats)) }

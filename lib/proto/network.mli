@@ -4,25 +4,78 @@
     an edge is delivered after a delay equal to the edge weight (the
     standard asynchronous CONGEST-style cost model in which the paper's
     preprocessing would run). Delivery order is deterministic: by delivery
-    time, ties by send order.
+    time, ties by send order — one global sequence counter stamps every
+    enqueue (sends, fault-injected duplicate copies, timers, and external
+    [inject]s alike), so the tie-break stays total even when injects
+    interleave with in-flight deliveries.
 
     The simulator is parametric in the protocol's message and state types;
     concrete protocols (distributed shortest-path trees, distributed r-net
-    election) live in sibling modules. *)
+    election) live in sibling modules. An optional {!fault_hooks} layer
+    (driven by [Cr_fault.Plan]) interposes on every send and delivery:
+    drops, duplicate copies, delay inflation, and node crash windows. *)
 
 type ('msg, 'state) t
 
-(** What a handler may do: read the clock and send to direct neighbors. *)
+(** What a handler may do: read the clock, send to direct neighbors, and
+    arm local timers. *)
 type 'msg actions = {
   now : float;
   send : int -> 'msg -> unit;
       (** [send neighbor msg]; raises [Invalid_argument] if the target is
-          not adjacent to the handling node. *)
+          not adjacent to the handling node. Subject to the fault layer. *)
+  timer : delay:float -> 'msg -> unit;
+      (** [timer ~delay msg] delivers [msg] back to the handling node
+          [delay] time units from now. Timers are local (never cross an
+          edge) so the fault layer cannot drop them; if the node is down
+          when one fires it is deferred to the recovery instant. *)
 }
 
 type stats = {
-  messages : int;  (** total messages delivered *)
-  makespan : float;  (** delivery time of the last message *)
+  messages : int;  (** total edge/external messages delivered *)
+  makespan : float;  (** delivery time of the last event *)
+}
+
+(** A typed, diagnosable protocol failure: which protocol gave up, at which
+    node, with the network statistics at that point. Replaces the bare
+    [Failure] exits of the protocol modules so callers can distinguish a
+    budget bug from a non-quiescent election from a covering-bound
+    violation. *)
+type protocol_error = {
+  protocol : string;  (** e.g. ["dist_spt"], ["net_election.election"] *)
+  node : int option;  (** the node at which the failure was detected *)
+  stats : stats;  (** deliveries and makespan at the moment of failure *)
+  detail : string;
+}
+
+exception Protocol_error of protocol_error
+
+(** [error_message e] is a one-line human rendering (also installed as the
+    [Printexc] printer for {!Protocol_error}). *)
+val error_message : protocol_error -> string
+
+(** Fault interposition, consulted by the simulator on every send and
+    delivery. Implementations live in [Cr_fault.Plan]; the hooks may be
+    stateful (per-edge message counters) but must be deterministic. *)
+type fault_hooks = {
+  copies : src:int -> dst:int -> delay:float -> float list;
+      (** delivery delays for each copy of a sent message: [[]] drops it,
+          [[delay]] passes it through, [[delay; d']] duplicates it, and any
+          delay greater than the nominal one inflates that copy's latency.
+          Delays must not shrink below the nominal edge delay. *)
+  down_until : node:int -> time:float -> float option;
+      (** [Some recovery] when the node is crashed at [time]; deliveries
+          to it are lost (timers are deferred to [recovery] instead). *)
+}
+
+(** Per-network fault accounting, all zero when no hooks are installed. *)
+type fault_counts = {
+  sent_dropped : int;  (** sends the plan dropped outright *)
+  sent_duplicated : int;  (** extra copies the plan enqueued *)
+  sent_delayed : int;  (** sends with at least one inflated copy *)
+  crash_lost : int;  (** deliveries lost because the target was down *)
+  timers_deferred : int;
+      (** timer fires and boot injections deferred past a crash window *)
 }
 
 (** [create g ~init] builds a quiescent network with per-node states.
@@ -31,12 +84,18 @@ type stats = {
     asynchronous model guarantees only eventual delivery, so protocol
     *outcomes* must not depend on timing — the test suite runs the
     constructions under several jitter schedules and asserts identical
-    results. [obs] (default: the global trace context) receives one
-    [Message] event per delivery and, at quiescence, [network.messages]
-    and [network.makespan] counters. *)
+    results. [faults] interposes a fault plan on every send and delivery.
+    [obs] (default: the global trace context) receives one [Message] event
+    per delivery and, at quiescence, [network.messages] /
+    [network.makespan] counters (plus [network.faults.*] when hooks are
+    installed). *)
 val create :
-  ?obs:Cr_obs.Trace.context -> ?jitter:int * float -> Cr_metric.Graph.t ->
-  init:(int -> 'state) -> ('msg, 'state) t
+  ?obs:Cr_obs.Trace.context ->
+  ?jitter:int * float ->
+  ?faults:fault_hooks ->
+  Cr_metric.Graph.t ->
+  init:(int -> 'state) ->
+  ('msg, 'state) t
 
 (** [state t v] reads a node's current state. *)
 val state : ('msg, 'state) t -> int -> 'state
@@ -45,6 +104,13 @@ val state : ('msg, 'state) t -> int -> 'state
     accumulated so far — the load-balance view of a protocol run. *)
 val deliveries : ('msg, 'state) t -> int array
 
+(** [fault_counts t] is the fault-layer accounting so far. *)
+val fault_counts : ('msg, 'state) t -> fault_counts
+
+(** [timer_events t] is the number of timer fires so far (not counted in
+    [stats.messages]). *)
+val timer_events : ('msg, 'state) t -> int
+
 (** [round_histogram t] buckets deliveries by protocol round, where round
     r collects the deliveries with time in [r, r+1) — for unit edge
     weights this is exactly the synchronous round structure. Sorted by
@@ -52,16 +118,45 @@ val deliveries : ('msg, 'state) t -> int array
 val round_histogram : ('msg, 'state) t -> (int * int) list
 
 (** [inject t ~dst msg] enqueues an external message (delivered at the
-    current simulation time; used to kick off protocols). *)
+    current simulation time; used to kick off protocols). Injected
+    messages bypass the fault layer's send hook and are deferred — not
+    lost — when the target is inside a crash window (they model local
+    boot events, not edge traffic), but they share the global sequence
+    counter, so an inject racing an in-flight delivery at the same
+    instant still resolves by send order. *)
 val inject : ('msg, 'state) t -> dst:int -> 'msg -> unit
 
 (** [run t ~handler ~max_messages] delivers messages until quiescence:
     [handler actions ~self state msg] returns the node's next state.
-    Raises [Failure] if more than [max_messages] are delivered (protocol
-    bug guard). Returns delivery statistics. [run] may be called again
-    after further [inject]s; statistics accumulate. *)
+    Raises {!Protocol_error} (tagged with [protocol], default
+    ["network"]) if more than [max_messages] deliveries plus timer fires
+    occur — the budget boundary is exact: a protocol delivering exactly
+    [max_messages] events completes. Returns delivery statistics. [run]
+    may be called again after further [inject]s; statistics accumulate. *)
 val run :
+  ?protocol:string ->
   ('msg, 'state) t ->
   handler:('msg actions -> self:int -> 'state -> 'msg -> 'state) ->
   max_messages:int ->
   stats
+
+(** How a protocol's messages actually travel. Concrete protocols
+    (Dist_spt, Net_election, ...) describe themselves as
+    (init, handler, kickoff) and execute through a runner: {!local} is the
+    plain simulator; [Cr_fault.Reliable.runner] is the hardened
+    ack/retransmit transport over a fault plan. [execute] returns the
+    final per-node states and the run statistics. *)
+type runner = {
+  execute :
+    'msg 'state.
+    Cr_metric.Graph.t ->
+    protocol:string ->
+    init:(int -> 'state) ->
+    handler:('msg actions -> self:int -> 'state -> 'msg -> 'state) ->
+    kickoff:(int * 'msg) list ->
+    max_messages:int ->
+    'state array * stats;
+}
+
+(** [local ()] is the default fault-free runner (optionally jittered). *)
+val local : ?obs:Cr_obs.Trace.context -> ?jitter:int * float -> unit -> runner

@@ -1,0 +1,27 @@
+type t = {
+  edges : (int * int, unit) Hashtbl.t;
+  nodes : (int, unit) Hashtbl.t;
+}
+
+let create ?(edges = []) ?(nodes = []) () =
+  let t =
+    { edges = Hashtbl.create (max 8 (List.length edges));
+      nodes = Hashtbl.create (max 8 (List.length nodes)) }
+  in
+  List.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Failures.create: self-loop edge";
+      Hashtbl.replace t.edges (u, v) ();
+      Hashtbl.replace t.edges (v, u) ())
+    edges;
+  List.iter (fun v -> Hashtbl.replace t.nodes v ()) nodes;
+  t
+
+let none = create ()
+
+let edge_failed t u v = Hashtbl.mem t.edges (u, v)
+let node_failed t v = Hashtbl.mem t.nodes v
+
+let edge_count t = Hashtbl.length t.edges / 2
+let node_count t = Hashtbl.length t.nodes
+let is_empty t = Hashtbl.length t.edges = 0 && Hashtbl.length t.nodes = 0

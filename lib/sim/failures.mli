@@ -1,0 +1,26 @@
+(** Static edge/node failure sets for degraded-mode routing.
+
+    These model the data plane's view of faults: a failed edge cannot be
+    traversed and a failed node cannot be visited, discovered only when a
+    packet attempts the move (the walker raises [Walker.Blocked]). The
+    control-plane counterpart — message drops and crash windows during
+    *construction* — lives in [Cr_fault.Plan].
+
+    Failure sets are immutable after [create]; sampling helpers that build
+    them deterministically from a seed live in [Cr_fault.Plan]
+    ([sample_edge_failures] / [sample_node_failures]). *)
+
+type t
+
+(** [create ~edges ~nodes ()] — [edges] are undirected (order-insensitive,
+    self-loops rejected). *)
+val create : ?edges:(int * int) list -> ?nodes:int list -> unit -> t
+
+(** The empty failure set: routing with it is exactly fault-free. *)
+val none : t
+
+val edge_failed : t -> int -> int -> bool
+val node_failed : t -> int -> bool
+val edge_count : t -> int
+val node_count : t -> int
+val is_empty : t -> bool

@@ -19,6 +19,28 @@ type name_independent = {
   ni_header_bits : int;
 }
 
+type route_status =
+  | Delivered
+  | Rerouted
+  | Undeliverable
+
+let status_label = function
+  | Delivered -> "delivered"
+  | Rerouted -> "rerouted"
+  | Undeliverable -> "undeliverable"
+
+type degraded_outcome = {
+  d_cost : float;
+  d_hops : int;
+  d_status : route_status;
+  d_reroutes : int;
+}
+
+type degraded = {
+  dg_name : string;
+  dg_route : src:int -> dest_name:int -> degraded_outcome;
+}
+
 let route_labeled s ~src ~dst =
   s.route_to_label ~src ~dest_label:(s.label dst)
 

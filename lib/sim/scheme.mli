@@ -26,6 +26,33 @@ type name_independent = {
   ni_header_bits : int;
 }
 
+(** How a route under a failure set ended: [Delivered] on the fault-free
+    fast path, [Rerouted] if it reached the destination after at least one
+    failover, [Undeliverable] if the search was exhausted (hop budget, or
+    no surviving level — e.g. the destination itself is failed). *)
+type route_status =
+  | Delivered
+  | Rerouted
+  | Undeliverable
+
+(** Stable lowercase tag, e.g. ["rerouted"]. *)
+val status_label : route_status -> string
+
+type degraded_outcome = {
+  d_cost : float;  (** distance traveled, including abandoned detours *)
+  d_hops : int;
+  d_status : route_status;
+  d_reroutes : int;  (** failovers taken (0 iff [Delivered]) *)
+}
+
+(** A name-independent scheme routing over a fixed failure set — built by
+    the schemes' [degraded_scheme] constructors, which capture a
+    {!Failures.t}. *)
+type degraded = {
+  dg_name : string;
+  dg_route : src:int -> dest_name:int -> degraded_outcome;
+}
+
 (** [table_counters ctx name bits n] emits [name.table_bits.max] and
     [name.table_bits.avg] counters over nodes [0..n-1]; a no-op (skipping
     the O(n) sweep) when [ctx] is disabled. Used by scheme constructors. *)

@@ -63,6 +63,57 @@ let measure_name_independent ?pool m (s : Scheme.name_independent) naming pairs
   in
   summarize (samples_of ?pool m route pairs)
 
+type degraded_summary = {
+  routes : int;
+  delivered : int;
+  rerouted : int;
+  undeliverable : int;
+  reroutes_total : int;
+  arrived : summary option;
+}
+
+(* Same pooling contract as [samples_of]: samples return in pair order, so
+   the summary equals the sequential run's regardless of pool size. *)
+let measure_degraded ?pool m (s : Scheme.degraded) naming pairs =
+  let sample (src, dst) =
+    let o = s.Scheme.dg_route ~src ~dest_name:naming.Workload.name_of.(dst) in
+    (Metric.dist m src dst, o)
+  in
+  let outcomes =
+    match pool with
+    | None -> List.map sample pairs
+    | Some pool -> Cr_par.Pool.parallel_map_list pool sample pairs
+  in
+  let delivered = ref 0 and rerouted = ref 0 and undeliverable = ref 0 in
+  let reroutes = ref 0 in
+  let arrived_samples =
+    List.filter_map
+      (fun (d, (o : Scheme.degraded_outcome)) ->
+        reroutes := !reroutes + o.Scheme.d_reroutes;
+        match o.Scheme.d_status with
+        | Scheme.Delivered ->
+          incr delivered;
+          Some (d, o.Scheme.d_cost, o.Scheme.d_hops)
+        | Scheme.Rerouted ->
+          incr rerouted;
+          Some (d, o.Scheme.d_cost, o.Scheme.d_hops)
+        | Scheme.Undeliverable ->
+          incr undeliverable;
+          None)
+      outcomes
+  in
+  { routes = List.length outcomes;
+    delivered = !delivered;
+    rerouted = !rerouted;
+    undeliverable = !undeliverable;
+    reroutes_total = !reroutes;
+    arrived =
+      (match arrived_samples with [] -> None | l -> Some (summarize l)) }
+
+let delivery_rate s =
+  if s.routes = 0 then 1.0
+  else float_of_int (s.delivered + s.rerouted) /. float_of_int s.routes
+
 let worst_of m route pairs =
   List.fold_left
     (fun ((_, best_stretch) as best) (src, dst) ->

@@ -33,6 +33,29 @@ val measure_name_independent :
   Cr_metric.Metric.t -> Scheme.name_independent -> Workload.naming ->
   (int * int) list -> summary
 
+(** Aggregates of a degraded-mode run over a fixed failure set. *)
+type degraded_summary = {
+  routes : int;
+  delivered : int;  (** arrived without any failover *)
+  rerouted : int;  (** arrived after at least one failover *)
+  undeliverable : int;
+  reroutes_total : int;  (** failovers across all routes *)
+  arrived : summary option;
+      (** stretch over the routes that arrived (delivered + rerouted);
+          [None] when nothing arrived *)
+}
+
+(** [measure_degraded m scheme naming pairs] routes every pair through a
+    degraded scheme view; [pool] as in {!measure_labeled} (samples merge
+    in pair order, so the summary is pool-size-invariant). *)
+val measure_degraded :
+  ?pool:Cr_par.Pool.t ->
+  Cr_metric.Metric.t -> Scheme.degraded -> Workload.naming ->
+  (int * int) list -> degraded_summary
+
+(** Fraction of routes that arrived; 1.0 on an empty run. *)
+val delivery_rate : degraded_summary -> float
+
 (** [worst_pair_labeled m scheme pairs] is the pair attaining max stretch. *)
 val worst_pair_labeled :
   Cr_metric.Metric.t -> Scheme.labeled -> (int * int) list ->

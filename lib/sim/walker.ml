@@ -4,6 +4,8 @@ module Trace = Cr_obs.Trace
 
 exception Hop_budget_exhausted
 
+exception Blocked of { src : int; dst : int }
+
 type t = {
   metric : Metric.t;
   mutable position : int;
@@ -13,13 +15,16 @@ type t = {
   max_hops : int;
   obs : Trace.context;
   mutable phase : Trace.phase;
+  failures : Failures.t;
 }
 
-let create ?obs m ~start ~max_hops =
+let create ?obs ?(failures = Failures.none) m ~start ~max_hops =
   if start < 0 || start >= Metric.n m then
     invalid_arg "Walker.create: start out of range";
+  if Failures.node_failed failures start then
+    invalid_arg "Walker.create: start node is failed";
   { metric = m; position = start; cost = 0.0; hops = 0; trail = [ start ];
-    max_hops; obs = Trace.resolve obs; phase = Trace.Unphased }
+    max_hops; obs = Trace.resolve obs; phase = Trace.Unphased; failures }
 
 let position w = w.position
 let cost w = w.cost
@@ -44,10 +49,19 @@ let spend w =
   w.hops <- w.hops + 1;
   if w.hops > w.max_hops then raise Hop_budget_exhausted
 
+(* Failures are discovered on contact: the packet stays where it is (no
+   cost, no hop spent) and the scheme decides how to reroute. *)
+let check_move w v =
+  if
+    Failures.edge_failed w.failures w.position v
+    || Failures.node_failed w.failures v
+  then raise (Blocked { src = w.position; dst = v })
+
 let step w v =
   match Graph.edge_weight (Metric.graph w.metric) w.position v with
   | None -> invalid_arg "Walker.step: not a neighbor"
   | Some weight ->
+    check_move w v;
     spend w;
     let src = w.position in
     w.position <- v;
@@ -74,6 +88,8 @@ let charge w c =
 
 let teleport w v ~cost =
   if cost < 0.0 then invalid_arg "Walker.teleport: negative cost";
+  if Failures.node_failed w.failures v then
+    raise (Blocked { src = w.position; dst = v });
   spend w;
   let src = w.position in
   w.position <- v;

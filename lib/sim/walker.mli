@@ -9,12 +9,21 @@ type t
 
 exception Hop_budget_exhausted
 
+(** Raised by {!step} / {!teleport} when the attempted move touches a
+    failed edge or node ({!Failures}): the packet has NOT moved and no
+    cost was charged — the scheme catches this and reroutes (degraded
+    mode), re-entering its search from the current position. *)
+exception Blocked of { src : int; dst : int }
+
 (** [create ?obs m ~start ~max_hops] places a packet at [start]. [obs]
     (default: the {!Cr_obs.Trace} global context) receives one route event
-    per step/charge/teleport, tagged with the current {!phase}. *)
+    per step/charge/teleport, tagged with the current {!phase}.
+    [failures] (default {!Failures.none}) makes moves onto failed
+    edges/nodes raise {!Blocked}; a failed start node is rejected
+    outright. *)
 val create :
-  ?obs:Cr_obs.Trace.context -> Cr_metric.Metric.t -> start:int ->
-  max_hops:int -> t
+  ?obs:Cr_obs.Trace.context -> ?failures:Failures.t ->
+  Cr_metric.Metric.t -> start:int -> max_hops:int -> t
 
 (** [obs w] is the walker's observability context. *)
 val obs : t -> Cr_obs.Trace.context
@@ -41,8 +50,9 @@ val cost : t -> float
 val hops : t -> int
 
 (** [step w v] moves the packet across the single graph edge to neighbor
-    [v]. Raises [Invalid_argument] if [v] is not adjacent, and
-    [Hop_budget_exhausted] past the budget. *)
+    [v]. Raises [Invalid_argument] if [v] is not adjacent,
+    [Hop_budget_exhausted] past the budget, and {!Blocked} if the edge or
+    [v] is failed. *)
 val step : t -> int -> unit
 
 (** [walk_shortest_path w dst] moves the packet hop-by-hop along the
@@ -55,7 +65,8 @@ val walk_shortest_path : t -> int -> unit
 val charge : t -> float -> unit
 
 (** [teleport w v ~cost] moves the packet to [v] adding the given cost and
-    a single hop — used by baselines that model an out-of-band hand-off. *)
+    a single hop — used by baselines that model an out-of-band hand-off.
+    Raises {!Blocked} if [v] is failed. *)
 val teleport : t -> int -> cost:float -> unit
 
 (** [trail w] is every node visited so far in order, starting with the

@@ -16,6 +16,7 @@ let () =
       ("lowerbound", Test_lowerbound.suite);
       ("location", Test_location.suite);
       ("proto", Test_proto.suite);
+      ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
       ("metrics", Test_metrics.suite);
       ("report", Test_report.suite);

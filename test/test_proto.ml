@@ -51,17 +51,70 @@ let test_network_rejects_non_neighbor () =
       ignore (Network.run net ~handler ~max_messages:10))
 
 let test_network_budget () =
-  (* two nodes bouncing a ball forever *)
+  (* Two nodes bouncing a ball: a run of exactly [max_messages] events
+     completes; one more raises the typed error carrying the protocol
+     name and the statistics at the point of failure. *)
   let g = Graph.of_edges 2 [ (0, 1, 1.0) ] in
+  let bounce sends max_messages =
+    let left = ref sends in
+    let net = Network.create g ~init:(fun _ -> ()) in
+    let handler (actions : unit Network.actions) ~self state () =
+      if !left > 0 then begin
+        decr left;
+        actions.Network.send (1 - self) ()
+      end;
+      state
+    in
+    Network.inject net ~dst:0 ();
+    Network.run net ~protocol:"bounce" ~handler ~max_messages
+  in
+  (* the inject plus 49 sends is 50 deliveries: exactly at the budget *)
+  let stats = bounce 49 50 in
+  check_int "boundary run completes" 50 stats.Network.messages;
+  (* one send past the budget must fail, and fail typed *)
+  match bounce 50 50 with
+  | _ -> Alcotest.fail "expected Protocol_error"
+  | exception Network.Protocol_error err ->
+    Alcotest.(check string) "protocol name" "bounce" err.Network.protocol;
+    (* the diagnostics include the event that breached the budget *)
+    check_int "stats include the breaching event" 51
+      err.Network.stats.Network.messages;
+    check_bool "human rendering mentions protocol" true
+      (String.length (Network.error_message err) > 0)
+
+let test_inject_interleaves_in_flight () =
+  (* Regression for the mid-run inject tie-break: an inject that lands at
+     the same simulation time as in-flight deliveries is ordered by the
+     shared enqueue counter — time first, then send order — not ahead of
+     or behind the whole batch. *)
+  let g = Graph.of_edges 2 [ (0, 1, 1.0) ] in
+  let log = ref [] in
   let net = Network.create g ~init:(fun _ -> ()) in
-  let handler (actions : unit Network.actions) ~self state () =
-    actions.Network.send (1 - self) ();
+  let handler (actions : string Network.actions) ~self state msg =
+    log := (msg, self, actions.Network.now) :: !log;
+    (match msg with
+    | "start" ->
+      (* ping arrives at node 1 at t=1; tick fires at node 0 at t=1 *)
+      actions.Network.send 1 "ping";
+      actions.Network.timer ~delay:1.0 "tick"
+    | "ping" ->
+      (* external input racing the already-scheduled tick at t=1 *)
+      Network.inject net ~dst:0 "ext"
+    | _ -> ());
     state
   in
-  Network.inject net ~dst:0 ();
-  Alcotest.check_raises "budget"
-    (Failure "Network.run: message budget exhausted") (fun () ->
-      ignore (Network.run net ~handler ~max_messages:50))
+  Network.inject net ~dst:0 "start";
+  ignore (Network.run net ~handler ~max_messages:10);
+  Alcotest.(check (list string)) "time first, then enqueue order"
+    [ "start"; "ping"; "tick"; "ext" ]
+    (List.rev_map (fun (m, _, _) -> m) !log);
+  List.iter
+    (fun (msg, _, now) ->
+      check_float
+        (Printf.sprintf "%s delivered at its scheduled time" msg)
+        (if msg = "start" then 0.0 else 1.0)
+        now)
+    !log
 
 let check_spt_matches m root =
   let g = Metric.graph m in
@@ -442,6 +495,8 @@ let suite =
     Alcotest.test_case "rejects non-neighbor" `Quick
       test_network_rejects_non_neighbor;
     Alcotest.test_case "message budget" `Quick test_network_budget;
+    Alcotest.test_case "inject interleaves in-flight" `Quick
+      test_inject_interleaves_in_flight;
     Alcotest.test_case "distributed SPT on grid" `Quick test_dist_spt_grid;
     Alcotest.test_case "distributed SPT on holey grid" `Quick
       test_dist_spt_holey;

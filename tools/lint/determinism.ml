@@ -16,7 +16,7 @@ module A = Ast_util
 
 let id = "determinism"
 
-let pooled_dirs = [ "lib/core"; "lib/metric"; "lib/sim"; "lib/proto" ]
+let pooled_dirs = [ "lib/core"; "lib/metric"; "lib/sim"; "lib/proto"; "lib/fault" ]
 
 let pooled rel = Rule.under pooled_dirs rel
 

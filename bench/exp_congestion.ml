@@ -1,15 +1,18 @@
 (* E12 — congestion: how evenly each scheme spreads traffic. Route a fixed
-   all-to-all(-sampled) workload, count how many routes traverse each node,
-   and report the hotspot (max load) against the average. Spanning-tree
+   all-to-all(-sampled) workload through Walker with a Cr_obs.Cost
+   accumulator, and report both hotspot views: the busiest node (how many
+   routes visit it) and the busiest *edge* (how many routes traverse it —
+   the CONGEST measure E19 applies to the constructions). Spanning-tree
    routing funnels everything through the root; the paper's schemes keep
    hotspots near the shortest-path baseline. (Not a claim from the paper —
-   an operational property practitioners ask about; the trail machinery
-   makes it free to measure.) *)
+   an operational property practitioners ask about; the walker's per-edge
+   accounting makes it free to measure.) *)
 
 open Common
 module Metric = Cr_metric.Metric
 module Walker = Cr_sim.Walker
 module Workload = Cr_sim.Workload
+module Cost = Cr_obs.Cost
 module Sfl = Cr_core.Scale_free_labeled
 module Hier = Cr_core.Hier_labeled
 
@@ -20,13 +23,27 @@ let load_stats n trails =
       (* count each route once per node it visits *)
       List.iter
         (fun v -> load.(v) <- load.(v) + 1)
-        (List.sort_uniq compare trail))
+        (List.sort_uniq Int.compare trail))
     trails;
   let max_load = Array.fold_left max 0 load in
   let avg =
     float_of_int (Array.fold_left ( + ) 0 load) /. float_of_int n
   in
   (max_load, avg)
+
+(* Route the whole workload with one shared Cost accumulator, so its
+   per-edge table aggregates the scheme's entire traffic. *)
+let route_all m pairs route =
+  let cost = Cost.create () in
+  let trails =
+    List.map
+      (fun (src, dst) ->
+        let w = Walker.create ~cost m ~start:src ~max_hops:1_000_000 in
+        route w dst;
+        Walker.trail w)
+      pairs
+  in
+  (trails, cost)
 
 let run () =
   let inst =
@@ -36,43 +53,38 @@ let run () =
   let m = inst.metric in
   let n = Metric.n m in
   let pairs = Workload.sample_pairs ~n ~count:1_500 ~seed:41 in
-  let trails_of route =
-    List.map
-      (fun (src, dst) ->
-        let w = Walker.create m ~start:src ~max_hops:1_000_000 in
-        route w dst;
-        Walker.trail w)
-      pairs
+  let shortest =
+    route_all m pairs (fun w dst -> Walker.walk_shortest_path w dst)
   in
-  let shortest = trails_of (fun w dst -> Walker.walk_shortest_path w dst) in
   let sfl = scale_free_labeled inst ~epsilon:default_epsilon in
   let labeled =
-    trails_of (fun w dst -> Sfl.walk sfl w ~dest_label:(Sfl.label sfl dst))
+    route_all m pairs (fun w dst ->
+        Sfl.walk sfl w ~dest_label:(Sfl.label sfl dst))
   in
   let hier = hier_labeled inst ~epsilon:default_epsilon in
   let hier_trails =
-    trails_of (fun w dst -> Hier.walk hier w ~dest_label:(Hier.label hier dst))
+    route_all m pairs (fun w dst ->
+        Hier.walk hier w ~dest_label:(Hier.label hier dst))
   in
   (* via-root trails: every route detours through node 0 — an upper bound
      emulation of root-centered (spanning-tree/landmark-style) designs *)
   let spt_trails =
-    List.map
-      (fun (src, dst) ->
-        let w = Walker.create m ~start:src ~max_hops:1_000_000 in
+    route_all m pairs (fun w dst ->
         Walker.walk_shortest_path w 0;
-        Walker.walk_shortest_path w dst;
-        Walker.trail w)
-      pairs
+        Walker.walk_shortest_path w dst)
   in
   print_header
-    "E12 (congestion): route load per node, 1500 sampled routes (holey grid)"
-    [ "scheme"; "hotspot load"; "avg load"; "hotspot/avg" ];
+    "E12 (congestion): route load, 1500 sampled routes (holey grid)"
+    [ "scheme"; "node hotspot"; "edge hotspot"; "avg node load";
+      "hotspot/avg" ];
   List.iter
-    (fun (name, trails) ->
+    (fun (name, (trails, cost)) ->
       let max_load, avg = load_stats n trails in
+      let s = Cost.summary cost in
       print_row
         [ cell "%-28s" name;
           cell "%6d" max_load;
+          cell "%6d" s.Cost.max_edge_messages;
           cell "%8.1f" avg;
           cell "%6.1f" (float_of_int max_load /. avg) ])
     [ ("shortest paths (ideal)", shortest);

@@ -1,0 +1,116 @@
+(* E19 — CONGEST cost accounting: rounds / messages / bits / congestion
+   for every distributed construction.
+
+   Each protocol from lib/proto runs through a cost-instrumented
+   Network.local runner on the two large families (geo-1024, grid-32x32).
+   The Cr_obs.Cost accumulator charges every delivered message to its
+   undirected edge with its Wire-measured encoded size, so the table
+   reports the four quantities the CONGEST literature prices a
+   construction by (cf. Elkin–Neiman's round/message tradeoffs for
+   distributed shortest paths): rounds to completion, total messages,
+   total bits on the wire, and the max per-edge load (congestion).
+
+   Sanity shape (gated by cr_report): rounds stay near (diameter x
+   levels) — polylogarithmic in n for bounded delta — and messages stay
+   within a constant of n*m flood cost; nothing here should look like an
+   n^2-per-edge protocol. All numbers are CR_DOMAINS-invariant: the
+   network simulator is sequential and the metric/hierarchy inputs are
+   pool-size independent. *)
+
+open Common
+module Graph = Cr_metric.Graph
+module Network = Cr_proto.Network
+module Cost = Cr_obs.Cost
+
+let election_radius = 4.0
+let packing_j = 5
+
+(* Run one construction with a fresh accumulator; returns its cost
+   summary and records the report row. [plain_messages] is the runner's
+   own delivery count — recorded alongside so a report diff catches the
+   accounting layer drifting from the simulator's ground truth. *)
+let run_costed inst name f =
+  let cost = Cost.create () in
+  let via = Network.local ~cost () in
+  let t0 = Cr_obs.Trace.wall_clock () in
+  let plain_messages = f via in
+  let dt = Cr_obs.Trace.wall_clock () -. t0 in
+  let s = Cost.summary cost in
+  let g = Metric.graph inst.metric in
+  record ~family:inst.name ~scheme:name
+    ~timings:[ ("build.seconds", dt) ]
+    (instance_metrics inst
+    @ [ ("edges", Report.Int (Graph.num_edges g));
+        ("network.messages", Report.Int plain_messages);
+        ("cost.rounds", Report.Int s.Cost.total_rounds);
+        ("cost.messages", Report.Int s.Cost.total_messages);
+        ("cost.bits", Report.Int s.Cost.total_bits);
+        ("cost.max_edge_messages", Report.Int s.Cost.max_edge_messages);
+        ("cost.max_edge_bits", Report.Int s.Cost.max_edge_bits);
+        ("cost.phases", Report.Int (List.length (Cost.phases cost))) ]);
+  print_row
+    [ cell "%-12s" name;
+      cell "%6d" s.Cost.total_rounds;
+      cell "%9d" s.Cost.total_messages;
+      cell "%11d" s.Cost.total_bits;
+      cell "%10d" s.Cost.max_edge_messages;
+      cell "%11d" s.Cost.max_edge_bits;
+      cell "%6d" (List.length (Cost.phases cost)) ]
+
+let family_suite inst =
+  print_header
+    (Printf.sprintf "E19 (CONGEST cost): %s" inst.name)
+    [ "construction"; "rounds"; "messages"; "bits"; "max e msgs";
+      "max e bits"; "phases" ];
+  let m = inst.metric in
+  let g = Metric.graph m in
+  run_costed inst "spt" (fun via ->
+      let r = Cr_proto.Dist_spt.run ~via g ~root:0 in
+      r.Cr_proto.Dist_spt.stats.Network.messages);
+  run_costed inst "election" (fun via ->
+      let r = Cr_proto.Net_election.run ~via g ~r:election_radius in
+      r.Cr_proto.Net_election.discovery.Network.messages
+      + r.Cr_proto.Net_election.election.Network.messages);
+  run_costed inst "hierarchy" (fun via ->
+      let r = Cr_proto.Dist_hierarchy.build ~via m in
+      r.Cr_proto.Dist_hierarchy.total_messages);
+  let ch = Hierarchy.build m in
+  let top = Hierarchy.top_level ch in
+  let level = Int.max 0 (top - 2) in
+  run_costed inst
+    (Printf.sprintf "netting-L%d" level)
+    (fun via ->
+      let members = Hierarchy.net ch level in
+      let upper = Hierarchy.net ch (level + 1) in
+      let radius = Float.pow 2.0 (float_of_int (level + 1)) in
+      let r =
+        Cr_proto.Dist_netting.parents_for_level ~via m ~members ~upper
+          ~radius
+      in
+      r.Cr_proto.Dist_netting.stats.Network.messages);
+  let radii = ref None in
+  run_costed inst "radii" (fun via ->
+      let r = Cr_proto.Dist_radii.run ~via g in
+      radii := Some r;
+      r.Cr_proto.Dist_radii.stats.Network.messages);
+  let distances =
+    match !radii with
+    | Some r -> r.Cr_proto.Dist_radii.distances
+    | None -> assert false
+  in
+  run_costed inst
+    (Printf.sprintf "packing-j%d" packing_j)
+    (fun via ->
+      let r = Cr_proto.Dist_packing.run ~via g ~distances ~j:packing_j in
+      r.Cr_proto.Dist_packing.discovery.Network.messages
+      + r.Cr_proto.Dist_packing.election.Network.messages)
+
+let run () =
+  List.iter family_suite (large_families ~pool:(pool ()) ());
+  print_newline ();
+  print_endline
+    "Shape: rounds track (diameter x hierarchy levels) and messages stay";
+  print_endline
+    "within a small constant of the n*m flood bound; max per-edge load is";
+  print_endline
+    "the CONGEST congestion the schemes' analyses implicitly assume."

@@ -33,7 +33,9 @@ let experiments =
     ("e17", "parallel scaling (domains 1/2/4/8)", Exp_parallel.run);
     ("e18", "fault injection: reliability overhead + degraded routing",
      Exp_faults.run);
-    ("bechamel", "timing micro-benchmarks", Bech.run) ]
+    ("e19", "CONGEST cost: rounds / messages / bits / congestion",
+     Exp_cost.run);
+    ("bechamel", "timing micro-benchmarks", Exp_bechamel.run) ]
 
 (* `parallel-scaling` is the documented name of E17; the alias resolves on
    request but stays out of the run-everything default. *)

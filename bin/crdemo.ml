@@ -524,11 +524,124 @@ let metrics_cmd =
       const metrics $ family_arg $ scheme_arg $ epsilon_arg $ seed_arg $ src
       $ dst)
 
+(* cost: CONGEST accounting for one distributed construction *)
+
+type construction = C_spt | C_election | C_hierarchy | C_netting | C_radii
+                  | C_packing
+
+let construction_conv =
+  let parse = function
+    | "spt" -> Ok C_spt
+    | "election" -> Ok C_election
+    | "hierarchy" -> Ok C_hierarchy
+    | "netting" -> Ok C_netting
+    | "radii" -> Ok C_radii
+    | "packing" -> Ok C_packing
+    | s -> Error (`Msg (Printf.sprintf "unknown construction %S" s))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.fprintf ppf "<construction>")
+
+let cost family construction radius top chrome =
+  let metric, _ = load family in
+  let g = Metric.graph metric in
+  let acct = Cr_obs.Cost.create () in
+  let via = Cr_proto.Network.local ~cost:acct () in
+  let name =
+    match construction with
+    | C_spt ->
+      ignore (Cr_proto.Dist_spt.run ~via g ~root:0);
+      "spt"
+    | C_election ->
+      ignore (Cr_proto.Net_election.run ~via g ~r:radius);
+      Printf.sprintf "election (r=%g)" radius
+    | C_hierarchy ->
+      ignore (Cr_proto.Dist_hierarchy.build ~via metric);
+      "hierarchy"
+    | C_netting ->
+      let ch = Hierarchy.build metric in
+      let level = Int.max 0 (Hierarchy.top_level ch - 2) in
+      ignore
+        (Cr_proto.Dist_netting.parents_for_level ~via metric
+           ~members:(Hierarchy.net ch level)
+           ~upper:(Hierarchy.net ch (level + 1))
+           ~radius:(Float.pow 2.0 (float_of_int (level + 1))));
+      Printf.sprintf "netting (level %d)" level
+    | C_radii ->
+      ignore (Cr_proto.Dist_radii.run ~via g);
+      "radii"
+    | C_packing ->
+      (* the radii prerequisite runs uncosted so the table isolates the
+         packing protocol itself *)
+      let radii = Cr_proto.Dist_radii.run g in
+      let j = 3 in
+      ignore
+        (Cr_proto.Dist_packing.run ~via g
+           ~distances:radii.Cr_proto.Dist_radii.distances ~j);
+      Printf.sprintf "packing (j=%d)" j
+  in
+  Printf.printf "CONGEST cost of %s on %s\n\n" name family;
+  print_string (Cr_obs.Cost.render acct);
+  let edges = Cr_obs.Cost.top_edges acct ~k:top in
+  if edges <> [] then begin
+    Printf.printf "\ntop %d congested edges:\n" (List.length edges);
+    Printf.printf "%-12s %10s %12s\n" "edge" "messages" "bits";
+    List.iter
+      (fun (e : Cr_obs.Cost.edge_load) ->
+        Printf.printf "%4d-%-7d %10d %12d\n" e.Cr_obs.Cost.u
+          e.Cr_obs.Cost.v e.Cr_obs.Cost.messages e.Cr_obs.Cost.bits)
+      edges
+  end;
+  (match chrome with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Cr_obs.Chrome.heatmap acct);
+    close_out oc;
+    Printf.printf "\nwrote per-edge heatmap to %s (chrome://tracing)\n" path
+  | None -> ());
+  0
+
+let cost_cmd =
+  let construction_arg =
+    let doc =
+      "Construction: spt, election, hierarchy, netting, radii, packing."
+    in
+    Arg.(
+      value & opt construction_conv C_spt
+      & info [ "construction"; "c" ] ~docv:"NAME" ~doc)
+  in
+  let radius_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "radius" ] ~docv:"R" ~doc:"Election ball radius.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"How many congested edges to list.")
+  in
+  let chrome_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chrome" ] ~docv:"PATH"
+          ~doc:
+            "Also write the per-edge congestion heatmap as trace_event \
+             JSON for chrome://tracing.")
+  in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:
+         "Run one distributed construction with CONGEST cost accounting \
+          and print its per-phase round/message/bit table plus the most \
+          congested edges")
+    Term.(
+      const cost $ family_arg $ construction_arg $ radius_arg $ top_arg
+      $ chrome_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "crdemo" ~version:"1.0"
        ~doc:"Compact routing schemes in low-doubling networks")
     [ inspect_cmd; route_cmd; stats_cmd; trace_cmd; metrics_cmd; verify_cmd;
-      faults_cmd ]
+      faults_cmd; cost_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

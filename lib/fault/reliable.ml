@@ -30,16 +30,17 @@ type t = {
   budget : budget;
   jitter : (int * float) option;
   obs : Cr_obs.Trace.context option;
+  cost : Cr_obs.Cost.t;
   mutable totals : totals;
 }
 
-let create ?plan ?budget ?jitter ?obs () =
+let create ?plan ?budget ?jitter ?obs ?(cost = Cr_obs.Cost.null) () =
   let budget = Option.value budget ~default:default_budget in
   if budget.max_attempts < 1 then
     invalid_arg "Reliable.create: max_attempts must be at least 1";
   if budget.rto <= 0.0 || budget.backoff < 1.0 || budget.rto_cap < budget.rto
   then invalid_arg "Reliable.create: invalid timeout budget";
-  { plan; budget; jitter; obs; totals = zero_totals }
+  { plan; budget; jitter; obs; cost; totals = zero_totals }
 
 let totals t = t.totals
 
@@ -73,16 +74,44 @@ let add_faults a (b : Network.fault_counts) =
     crash_lost = a.Network.crash_lost + b.Network.crash_lost;
     timers_deferred = a.Network.timers_deferred + b.Network.timers_deferred }
 
+(* Cost accounting sees the *framed* traffic: a [Data] or [Ack] packet
+   costs its transport header (tag, 32-bit sequence number, source id)
+   plus the inner payload's measured bits, so retransmissions and acks
+   show up as extra cost over a fault-free run. Boot injections carry no
+   framing (they never cross an edge); timers are never delivered as
+   messages and cost nothing. *)
+let measure_packet ~n inner =
+  let module Wire = Cr_proto.Wire in
+  let header f =
+    Wire.measure (fun w ->
+        Wire.push_tag w ~cases:2 0;
+        f w)
+  in
+  fun (packet : _ packet) ->
+    match packet with
+    | Boot m | Inner_timer m -> inner m
+    | Data { seq; src; payload } ->
+      header (fun w ->
+          Wire.push_seq w seq;
+          Wire.push_node w ~n src)
+      + inner payload
+    | Ack { seq } -> header (fun w -> Wire.push_seq w seq)
+    | Resend _ -> 0
+
 let runner t =
   { Network.execute =
-      (fun (type msg state) g ~protocol
+      (fun (type msg state) ?measure g ~protocol
            ~(init : int -> state)
            ~(handler :
               msg Network.actions -> self:int -> state -> msg -> state)
            ~(kickoff : (int * msg) list) ~max_messages ->
         let faults = Option.map Plan.hooks t.plan in
+        let measure =
+          Option.map (fun inner -> measure_packet ~n:(Graph.n g) inner) measure
+        in
         let net =
-          Network.create ?obs:t.obs ?jitter:t.jitter ?faults g
+          Network.create ?obs:t.obs ?jitter:t.jitter ?faults ~cost:t.cost
+            ?measure g
             ~init:(fun v ->
               ({ inner = init v; next_seq = 0; outstanding = Hashtbl.create 8 }
                 : (msg, state) station))

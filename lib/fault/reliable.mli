@@ -44,12 +44,18 @@ type t
 
 (** [create ()] builds a transport; [plan] defaults to no faults (the
     transport still acks and retransmits — the zero-fault overhead is
-    measurable), [budget] to {!default_budget}. *)
+    measurable), [budget] to {!default_budget}. [cost] (default
+    disabled) accumulates CONGEST cost of the {e framed} traffic: every
+    [Data]/[Ack] packet is charged its transport header (tag, 32-bit
+    sequence number, source id) plus the inner message's measured bits,
+    so a lossy plan's retransmissions appear as extra cost over a
+    fault-free run of the same protocol. *)
 val create :
   ?plan:Plan.t ->
   ?budget:budget ->
   ?jitter:int * float ->
   ?obs:Cr_obs.Trace.context ->
+  ?cost:Cr_obs.Cost.t ->
   unit ->
   t
 

@@ -89,3 +89,26 @@ let to_string ?(cost_scale = 1000.0) events =
     events;
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
+
+let heatmap cost =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let add line =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf line
+  in
+  (* One counter lane per edge, ranked hottest-first so Perfetto's track
+     order reads as the heatmap: the top lanes are the congested edges. *)
+  let edges = Cost.top_edges cost ~k:max_int in
+  List.iteri
+    (fun rank (e : Cost.edge_load) ->
+      add
+        (Printf.sprintf
+           "{\"name\":\"edge %d-%d\",\"cat\":\"congestion\",\"ph\":\"C\",\
+            \"pid\":3,\"tid\":%d,\"ts\":0,\"args\":{\"messages\":%d,\
+            \"bits\":%d}}"
+           e.Cost.u e.Cost.v rank e.Cost.messages e.Cost.bits))
+    edges;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf

@@ -10,3 +10,10 @@
     [cost_scale] is microseconds of trace time per unit of route cost /
     protocol delay (default 1000.0, i.e. one cost unit displays as 1ms). *)
 val to_string : ?cost_scale:float -> Trace.event list -> string
+
+(** [heatmap cost] renders a {!Cost.t} per-edge load table as Chrome
+    counter events: one lane per touched edge on pid 3, ranked
+    hottest-first, each carrying its message and bit totals — load the
+    JSON next to a {!to_string} timeline to see where congestion
+    concentrates. *)
+val heatmap : Cost.t -> string

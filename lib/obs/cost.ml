@@ -1,0 +1,207 @@
+(* CONGEST cost accounting (see cost.mli). Internally two hash tables —
+   undirected-edge cells and phase cells — mutated in place on the hot
+   path; every accessor folds and sorts (the lib/obs exemption from the
+   cr_lint determinism rule), so output order is a function of contents
+   only. *)
+
+type cell = {
+  mutable c_messages : int;
+  mutable c_bits : int;
+}
+
+type phase_cell = {
+  p_order : int;  (* first-seen order, for stable phase listing *)
+  mutable p_messages : int;
+  mutable p_bits : int;
+  mutable p_max_round : int;  (* -1 while the phase is empty *)
+  p_rounds : (int, int) Hashtbl.t;  (* round -> deliveries *)
+}
+
+type t = {
+  on : bool;
+  edges : (int * int, cell) Hashtbl.t;
+  by_phase : (string, phase_cell) Hashtbl.t;
+  mutable next_order : int;
+}
+
+type edge_load = {
+  u : int;
+  v : int;
+  messages : int;
+  bits : int;
+}
+
+type phase_total = {
+  phase : string;
+  messages : int;
+  bits : int;
+  rounds : int;
+  round_histogram : (int * int) list;
+}
+
+type summary = {
+  total_messages : int;
+  total_bits : int;
+  total_rounds : int;
+  max_edge_messages : int;
+  max_edge_bits : int;
+}
+
+let make on =
+  { on; edges = Hashtbl.create 64; by_phase = Hashtbl.create 8; next_order = 0 }
+
+let null = make false
+let create () = make true
+let enabled t = t.on
+
+let phase_cell t phase =
+  match Hashtbl.find_opt t.by_phase phase with
+  | Some pc -> pc
+  | None ->
+    let pc =
+      { p_order = t.next_order;
+        p_messages = 0;
+        p_bits = 0;
+        p_max_round = -1;
+        p_rounds = Hashtbl.create 16 }
+    in
+    t.next_order <- t.next_order + 1;
+    Hashtbl.add t.by_phase phase pc;
+    pc
+
+let record t ~phase ~src ~dst ~round ~bits =
+  if t.on then begin
+    let pc = phase_cell t phase in
+    pc.p_messages <- pc.p_messages + 1;
+    pc.p_bits <- pc.p_bits + bits;
+    if round > pc.p_max_round then pc.p_max_round <- round;
+    let prev =
+      match Hashtbl.find_opt pc.p_rounds round with Some n -> n | None -> 0
+    in
+    Hashtbl.replace pc.p_rounds round (prev + 1);
+    if src >= 0 && dst >= 0 && src <> dst then begin
+      let key = if src < dst then (src, dst) else (dst, src) in
+      let cell =
+        match Hashtbl.find_opt t.edges key with
+        | Some c -> c
+        | None ->
+          let c = { c_messages = 0; c_bits = 0 } in
+          Hashtbl.add t.edges key c;
+          c
+      in
+      cell.c_messages <- cell.c_messages + 1;
+      cell.c_bits <- cell.c_bits + bits
+    end
+  end
+
+let reset t =
+  Hashtbl.reset t.edges;
+  Hashtbl.reset t.by_phase;
+  t.next_order <- 0
+
+let cmp_uv a b =
+  match Int.compare a.u b.u with 0 -> Int.compare a.v b.v | c -> c
+
+let edge_loads t =
+  Hashtbl.fold
+    (fun (u, v) c acc ->
+      { u; v; messages = c.c_messages; bits = c.c_bits } :: acc)
+    t.edges []
+  |> List.sort cmp_uv
+
+let top_edges t ~k =
+  let by_load (a : edge_load) (b : edge_load) =
+    match Int.compare b.messages a.messages with
+    | 0 -> (
+      match Int.compare b.bits a.bits with 0 -> cmp_uv a b | c -> c)
+    | c -> c
+  in
+  let all =
+    Hashtbl.fold
+      (fun (u, v) c acc ->
+        { u; v; messages = c.c_messages; bits = c.c_bits } :: acc)
+      t.edges []
+    |> List.sort by_load
+  in
+  List.filteri (fun i _ -> i < k) all
+
+let phases t =
+  Hashtbl.fold (fun phase pc acc -> (phase, pc) :: acc) t.by_phase []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare a.p_order b.p_order)
+  |> List.map (fun (phase, pc) ->
+         let round_histogram =
+           Hashtbl.fold (fun r n acc -> (r, n) :: acc) pc.p_rounds []
+           |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+         in
+         { phase;
+           messages = pc.p_messages;
+           bits = pc.p_bits;
+           rounds = pc.p_max_round + 1;
+           round_histogram })
+
+let summary t =
+  let total_messages, total_bits, total_rounds =
+    Hashtbl.fold
+      (fun _ pc (m, b, r) ->
+        (m + pc.p_messages, b + pc.p_bits, r + pc.p_max_round + 1))
+      t.by_phase (0, 0, 0)
+  in
+  let max_edge_messages, max_edge_bits =
+    Hashtbl.fold
+      (fun _ c (mm, mb) -> (Int.max mm c.c_messages, Int.max mb c.c_bits))
+      t.edges (0, 0)
+  in
+  { total_messages; total_bits; total_rounds; max_edge_messages; max_edge_bits }
+
+let render t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-36s %8s %12s %14s\n" "phase" "rounds" "messages" "bits");
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-36s %8d %12d %14d\n" p.phase p.rounds p.messages
+           p.bits))
+    (phases t);
+  let s = summary t in
+  Buffer.add_string buf
+    (Printf.sprintf "%-36s %8d %12d %14d\n" "TOTAL" s.total_rounds
+       s.total_messages s.total_bits);
+  Buffer.add_string buf
+    (Printf.sprintf "max edge load: %d messages, %d bits over %d edges\n"
+       s.max_edge_messages s.max_edge_bits (Hashtbl.length t.edges));
+  Buffer.contents buf
+
+let emit ctx t =
+  if Trace.enabled ctx then begin
+    let s = summary t in
+    Trace.counter ctx "cost.messages" (float_of_int s.total_messages);
+    Trace.counter ctx "cost.bits" (float_of_int s.total_bits);
+    Trace.counter ctx "cost.rounds" (float_of_int s.total_rounds);
+    Trace.counter ctx "cost.max_edge_messages"
+      (float_of_int s.max_edge_messages);
+    Trace.counter ctx "cost.max_edge_bits" (float_of_int s.max_edge_bits);
+    List.iter
+      (fun p ->
+        let base = "cost.phase." ^ p.phase in
+        Trace.counter ctx (base ^ ".messages") (float_of_int p.messages);
+        Trace.counter ctx (base ^ ".bits") (float_of_int p.bits);
+        Trace.counter ctx (base ^ ".rounds") (float_of_int p.rounds))
+      (phases t)
+  end
+
+let to_metrics registry t =
+  let s = summary t in
+  Metrics.inc registry "cost.messages" (float_of_int s.total_messages);
+  Metrics.inc registry "cost.bits" (float_of_int s.total_bits);
+  Metrics.inc registry "cost.rounds" (float_of_int s.total_rounds);
+  Metrics.inc registry "cost.max_edge_messages"
+    (float_of_int s.max_edge_messages);
+  Metrics.inc registry "cost.max_edge_bits" (float_of_int s.max_edge_bits);
+  List.iter
+    (fun p ->
+      let base = "cost.phase." ^ p.phase in
+      Metrics.inc registry (base ^ ".messages") (float_of_int p.messages);
+      Metrics.inc registry (base ^ ".bits") (float_of_int p.bits);
+      Metrics.inc registry (base ^ ".rounds") (float_of_int p.rounds))
+    (phases t)

@@ -23,7 +23,10 @@ let build ?via m =
   let total = ref 0 in
   for i = top - 1 downto 1 do
     let r = Float.pow 2.0 (float_of_int i) in
-    let election = Net_election.run ?via g ~r ~seeds:nets.(i + 1) in
+    (* per-level protocol label, so cost accounting attributes each
+       election's traffic to its level of the 2^i-net hierarchy *)
+    let label = Printf.sprintf "hierarchy.l%d" i in
+    let election = Net_election.run ?via g ~r ~seeds:nets.(i + 1) ~label in
     nets.(i) <- election.Net_election.net;
     let messages =
       election.Net_election.discovery.Network.messages

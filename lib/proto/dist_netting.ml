@@ -3,6 +3,13 @@ module Metric = Cr_metric.Metric
 
 type announce = Announce of { origin : int; traveled : float }
 
+let measure_announce g =
+  let n = Graph.n g in
+  fun (Announce { origin; traveled }) ->
+    Wire.measure (fun w ->
+        Wire.push_node w ~n origin;
+        Wire.push_float w traveled)
+
 type best = {
   mutable choice : (float * int) option;  (* (distance, id), lexicographic *)
   seen : (int, float) Hashtbl.t;  (* flood dedup *)
@@ -13,7 +20,8 @@ type result = {
   stats : Network.stats;
 }
 
-let parents_for_level ?max_messages ?jitter ?via m ~members ~upper ~radius =
+let parents_for_level ?max_messages ?jitter ?via ?(label = "dist_netting") m
+    ~members ~upper ~radius =
   let g = Metric.graph m in
   let n = Metric.n m in
   let max_messages =
@@ -50,7 +58,7 @@ let parents_for_level ?max_messages ?jitter ?via m ~members ~upper ~radius =
     List.map (fun u -> (u, Announce { origin = u; traveled = 0.0 })) upper
   in
   let states, stats =
-    runner.Network.execute g ~protocol:"dist_netting"
+    runner.Network.execute ~measure:(measure_announce g) g ~protocol:label
       ~init:(fun _ -> { choice = None; seen = Hashtbl.create 8 })
       ~handler ~kickoff ~max_messages
   in
@@ -62,7 +70,7 @@ let parents_for_level ?max_messages ?jitter ?via m ~members ~upper ~radius =
       | None ->
         raise
           (Network.Protocol_error
-             { protocol = "dist_netting";
+             { protocol = label;
                node = Some x;
                stats;
                detail =
@@ -80,6 +88,7 @@ let all_parents ?via m =
         if i >= top then Array.make (Metric.n m) (-1)
         else begin
           let r = parents_for_level ?via m
+              ~label:(Printf.sprintf "dist_netting.l%d" i)
               ~members:hierarchy.Dist_hierarchy.nets.(i)
               ~upper:hierarchy.Dist_hierarchy.nets.(i + 1)
               ~radius:(Float.pow 2.0 (float_of_int (i + 1)))

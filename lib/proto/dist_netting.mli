@@ -23,13 +23,16 @@ type result = {
 (** [parents_for_level m ~members ~upper ~radius] runs one level's
     announcements: [upper] (the level-(i+1) net) floods within [radius]
     (inclusive) and every node of [members] records its choice. [via]
-    selects the transport (default [Network.local ?jitter ()]). Raises
-    [Network.Protocol_error] (protocol ["dist_netting"]) if a member heard
-    no announcement — a covering-bound violation. *)
+    selects the transport (default [Network.local ?jitter ()]); [label]
+    (default ["dist_netting"]) is the protocol tag cost accounting and
+    errors report — [all_parents] passes ["dist_netting.l<i>"] per
+    level. Raises [Network.Protocol_error] (protocol [<label>]) if a
+    member heard no announcement — a covering-bound violation. *)
 val parents_for_level :
   ?max_messages:int ->
   ?jitter:int * float ->
   ?via:Network.runner ->
+  ?label:string ->
   Cr_metric.Metric.t ->
   members:int list ->
   upper:int list ->

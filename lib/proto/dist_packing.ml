@@ -29,6 +29,23 @@ type a_msg =
   | Cand of { origin : int; r : float; traveled : float; from : int }
   | Note of { target : int; partner : int; partner_r : float }
 
+let measure_a g =
+  let n = Graph.n g in
+  fun msg ->
+    Wire.measure (fun w ->
+        match msg with
+        | Cand { origin; r; traveled; from } ->
+          Wire.push_tag w ~cases:2 0;
+          Wire.push_node w ~n origin;
+          Wire.push_float w r;
+          Wire.push_float w traveled;
+          Wire.push_opt_node w ~n from
+        | Note { target; partner; partner_r } ->
+          Wire.push_tag w ~cases:2 1;
+          Wire.push_node w ~n target;
+          Wire.push_node w ~n partner;
+          Wire.push_float w partner_r)
+
 let discovery_phase g ~radius ~runner ~max_messages =
   let n = Graph.n g in
   let deliver_note (actions : a_msg Network.actions) ~self state ~target
@@ -86,7 +103,8 @@ let discovery_phase g ~radius ~runner ~max_messages =
     List.init n (fun u ->
         (u, Cand { origin = u; r = radius.(u); traveled = 0.0; from = -1 }))
   in
-  runner.Network.execute g ~protocol:"dist_packing.discovery"
+  runner.Network.execute ~measure:(measure_a g) g
+    ~protocol:"dist_packing.discovery"
     ~init:(fun _ ->
       { cands = Hashtbl.create 8;
         witnessed = Hashtbl.create 8;
@@ -107,6 +125,25 @@ type b_msg =
   | Decision of { origin : int; r : float; verdict : bool; traveled : float;
                   from : int }
   | Relay of { target : int; partner : int; verdict : bool }
+
+let measure_b g =
+  let n = Graph.n g in
+  fun msg ->
+    Wire.measure (fun w ->
+        match msg with
+        | Kick -> Wire.push_tag w ~cases:3 0
+        | Decision { origin; r; verdict; traveled; from } ->
+          Wire.push_tag w ~cases:3 1;
+          Wire.push_node w ~n origin;
+          Wire.push_float w r;
+          Wire.push_bool w verdict;
+          Wire.push_float w traveled;
+          Wire.push_node w ~n from
+        | Relay { target; partner; verdict } ->
+          Wire.push_tag w ~cases:3 2;
+          Wire.push_node w ~n target;
+          Wire.push_node w ~n partner;
+          Wire.push_bool w verdict)
 
 let election_phase g ~radius ~a_states ~runner ~max_messages =
   let n = Graph.n g in
@@ -211,7 +248,8 @@ let election_phase g ~radius ~a_states ~runner ~max_messages =
   in
   let kickoff = List.init n (fun u -> (u, Kick)) in
   let states, stats =
-    runner.Network.execute g ~protocol:"dist_packing.election"
+    runner.Network.execute ~measure:(measure_b g) g
+      ~protocol:"dist_packing.election"
       ~init:(fun _ ->
         { status = None; heard = Hashtbl.create 8; seen = Hashtbl.create 8;
           relayed = Hashtbl.create 8 })

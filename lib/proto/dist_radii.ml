@@ -7,6 +7,13 @@ type result = {
   stats : Network.stats;
 }
 
+let measure g =
+  let n = Graph.n g in
+  fun (Hello { origin; traveled }) ->
+    Wire.measure (fun w ->
+        Wire.push_node w ~n origin;
+        Wire.push_float w traveled)
+
 let run ?max_messages ?jitter ?via g =
   let n = Graph.n g in
   let max_messages =
@@ -33,8 +40,8 @@ let run ?max_messages ?jitter ?via g =
     List.init n (fun v -> (v, Hello { origin = v; traveled = 0.0 }))
   in
   let states, stats =
-    runner.Network.execute g ~protocol:"dist_radii" ~init ~handler ~kickoff
-      ~max_messages
+    runner.Network.execute ~measure:(measure g) g ~protocol:"dist_radii" ~init
+      ~handler ~kickoff ~max_messages
   in
   { distances = states; stats }
 

@@ -14,6 +14,14 @@ type result = {
   stats : Network.stats;
 }
 
+(* CONGEST message size: a distance plus an optional predecessor id. *)
+let measure g =
+  let n = Graph.n g in
+  fun (Offer (d, from)) ->
+    Wire.measure (fun w ->
+        Wire.push_float w d;
+        Wire.push_opt_node w ~n from)
+
 let run ?max_messages ?jitter ?via g ~root =
   let n = Graph.n g in
   let max_messages =
@@ -55,7 +63,8 @@ let run ?max_messages ?jitter ?via g ~root =
       else state
   in
   let states, stats =
-    runner.Network.execute g ~protocol:"dist_spt" ~init ~handler
+    runner.Network.execute ~measure:(measure g) g ~protocol:"dist_spt" ~init
+      ~handler
       ~kickoff:[ (root, Offer (0.0, -1)) ]
       ~max_messages
   in

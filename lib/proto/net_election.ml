@@ -17,7 +17,15 @@ type result = {
    distance and seed-ness per origin (strictly within r). *)
 type hello = Hello of { origin : int; seed : bool; traveled : float }
 
-let discovery_phase g ~r ~is_seed ~runner ~max_messages =
+let measure_hello g =
+  let n = Graph.n g in
+  fun (Hello { origin; seed; traveled }) ->
+    Wire.measure (fun w ->
+        Wire.push_node w ~n origin;
+        Wire.push_bool w seed;
+        Wire.push_float w traveled)
+
+let discovery_phase g ~label ~r ~is_seed ~runner ~max_messages =
   let n = Graph.n g in
   let handler (actions : hello Network.actions) ~self known
       (Hello { origin; seed; traveled }) =
@@ -39,7 +47,8 @@ let discovery_phase g ~r ~is_seed ~runner ~max_messages =
         (v, Hello { origin = v; seed = is_seed v; traveled = 0.0 }))
   in
   let known, stats =
-    runner.Network.execute g ~protocol:"net_election.discovery"
+    runner.Network.execute ~measure:(measure_hello g) g
+      ~protocol:(label ^ ".discovery")
       ~init:(fun _ : (int, bool * float) Hashtbl.t -> Hashtbl.create 8)
       ~handler ~kickoff ~max_messages
   in
@@ -56,6 +65,18 @@ type decision =
   | Check
   | Decision of { origin : int; verdict : verdict; traveled : float }
 
+let measure_decision g =
+  let n = Graph.n g in
+  fun msg ->
+    Wire.measure (fun w ->
+        match msg with
+        | Check -> Wire.push_tag w ~cases:2 0
+        | Decision { origin; verdict; traveled } ->
+          Wire.push_tag w ~cases:2 1;
+          Wire.push_node w ~n origin;
+          Wire.push_bool w (verdict = V_in);
+          Wire.push_float w traveled)
+
 type node_state = {
   mutable status : status option;
   heard : (int, verdict * float) Hashtbl.t;  (* decisions, best distance *)
@@ -64,7 +85,7 @@ type node_state = {
   mutable heard_in : bool;  (* some decision in [heard] is V_in *)
 }
 
-let election_phase g ~r ~known ~is_seed ~runner ~max_messages =
+let election_phase g ~label ~r ~known ~is_seed ~runner ~max_messages =
   let n = Graph.n g in
   (* The in-range id sets are static after phase 1, so the wait-for-smaller
      predicate is precomputed per node and maintained as an O(1) counter:
@@ -137,7 +158,8 @@ let election_phase g ~r ~known ~is_seed ~runner ~max_messages =
       state
   in
   let kickoff = List.init n (fun v -> (v, Check)) in
-  runner.Network.execute g ~protocol:"net_election.election"
+  runner.Network.execute ~measure:(measure_decision g) g
+    ~protocol:(label ^ ".election")
     ~init:(fun v ->
       { status = None;
         heard = Hashtbl.create 8;
@@ -146,7 +168,7 @@ let election_phase g ~r ~known ~is_seed ~runner ~max_messages =
         heard_in = false })
     ~handler ~kickoff ~max_messages
 
-let run ?max_messages ?jitter ?via ?(seeds = []) g ~r =
+let run ?max_messages ?jitter ?via ?(seeds = []) ?(label = "net_election") g ~r =
   if r <= 0.0 then invalid_arg "Net_election.run: r must be positive";
   let n = Graph.n g in
   let max_messages =
@@ -165,10 +187,10 @@ let run ?max_messages ?jitter ?via ?(seeds = []) g ~r =
     seeds;
   let is_seed v = seed_flags.(v) in
   let known, discovery =
-    discovery_phase g ~r ~is_seed ~runner ~max_messages
+    discovery_phase g ~label ~r ~is_seed ~runner ~max_messages
   in
   let states, election =
-    election_phase g ~r ~known ~is_seed ~runner ~max_messages
+    election_phase g ~label ~r ~known ~is_seed ~runner ~max_messages
   in
   let status =
     Array.mapi
@@ -178,7 +200,7 @@ let run ?max_messages ?jitter ?via ?(seeds = []) g ~r =
         | None ->
           raise
             (Network.Protocol_error
-               { protocol = "net_election";
+               { protocol = label;
                  node = Some v;
                  stats = election;
                  detail = "protocol did not quiesce" }))

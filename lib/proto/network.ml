@@ -1,5 +1,6 @@
 module Graph = Cr_metric.Graph
 module Trace = Cr_obs.Trace
+module Cost = Cr_obs.Cost
 
 type kind =
   | Edge_msg of int  (* sending neighbor *)
@@ -36,6 +37,8 @@ type ('msg, 'state) t = {
   jitter : (int64 ref * float) option;
   hooks : fault_hooks option;
   obs : Trace.context;
+  cost : Cost.t;
+  measure : ('msg -> int) option;
   deliveries : int array;  (* messages delivered per node *)
   rounds : (int, int) Hashtbl.t;  (* floor(delivery time) -> deliveries *)
   mutable seq : int;
@@ -84,7 +87,7 @@ let splitmix state =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ?obs ?jitter ?faults graph ~init =
+let create ?obs ?jitter ?faults ?(cost = Cost.null) ?measure graph ~init =
   { graph;
     states = Array.init (Graph.n graph) init;
     queue = Pqueue.create ();
@@ -97,6 +100,8 @@ let create ?obs ?jitter ?faults graph ~init =
         jitter;
     hooks = faults;
     obs = Trace.resolve obs;
+    cost;
+    measure;
     deliveries = Array.make (Graph.n graph) 0;
     rounds = Hashtbl.create 64;
     seq = 0;
@@ -218,7 +223,18 @@ let run ?(protocol = "network") (t : (_, _) t) ~handler ~max_messages =
         | Some c -> Hashtbl.replace t.rounds round (c + 1)
         | None -> Hashtbl.add t.rounds round 1);
         if Trace.enabled t.obs then
-          Trace.message t.obs ~node:dst ~round ~time);
+          Trace.message t.obs ~node:dst ~round ~time;
+        if Cost.enabled t.cost then begin
+          (* CONGEST accounting: charge the delivery to its construction
+             phase (the protocol tag) and round; edge traffic (never
+             external injections) is also charged to its undirected edge,
+             sized by the protocol's measured wire encoding. *)
+          let bits =
+            match t.measure with Some f -> f payload | None -> 0
+          in
+          let src = match kind with Edge_msg s -> s | _ -> -1 in
+          Cost.record t.cost ~phase:protocol ~src ~dst ~round ~bits
+        end);
       let send neighbor msg =
         match Graph.edge_weight t.graph dst neighbor with
         | None -> invalid_arg "Network.send: not a neighbor"
@@ -255,6 +271,7 @@ let run ?(protocol = "network") (t : (_, _) t) ~handler ~max_messages =
 type runner = {
   execute :
     'msg 'state.
+    ?measure:('msg -> int) ->
     Graph.t ->
     protocol:string ->
     init:(int -> 'state) ->
@@ -264,10 +281,10 @@ type runner = {
     'state array * stats;
 }
 
-let local ?obs ?jitter () =
+let local ?obs ?jitter ?cost () =
   { execute =
-      (fun g ~protocol ~init ~handler ~kickoff ~max_messages ->
-        let net = create ?obs ?jitter g ~init in
+      (fun ?measure g ~protocol ~init ~handler ~kickoff ~max_messages ->
+        let net = create ?obs ?jitter ?cost ?measure g ~init in
         List.iter (fun (dst, msg) -> inject net ~dst msg) kickoff;
         let stats = run ~protocol net ~handler ~max_messages in
         (Array.init (Graph.n g) (state net), stats)) }

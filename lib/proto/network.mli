@@ -88,11 +88,19 @@ type fault_counts = {
     [obs] (default: the global trace context) receives one [Message] event
     per delivery and, at quiescence, [network.messages] /
     [network.makespan] counters (plus [network.faults.*] when hooks are
-    installed). *)
+    installed).
+
+    [cost] (default {!Cr_obs.Cost.null}) accumulates CONGEST cost: every
+    delivered edge/external message is charged to its protocol phase and
+    round, edge messages also to their undirected edge, with a size of
+    [measure msg] bits ([0] when no [measure] hook is given). The hot
+    path pays a single boolean test when [cost] is disabled. *)
 val create :
   ?obs:Cr_obs.Trace.context ->
   ?jitter:int * float ->
   ?faults:fault_hooks ->
+  ?cost:Cr_obs.Cost.t ->
+  ?measure:('msg -> int) ->
   Cr_metric.Graph.t ->
   init:(int -> 'state) ->
   ('msg, 'state) t
@@ -149,6 +157,7 @@ val run :
 type runner = {
   execute :
     'msg 'state.
+    ?measure:('msg -> int) ->
     Cr_metric.Graph.t ->
     protocol:string ->
     init:(int -> 'state) ->
@@ -158,5 +167,13 @@ type runner = {
     'state array * stats;
 }
 
-(** [local ()] is the default fault-free runner (optionally jittered). *)
-val local : ?obs:Cr_obs.Trace.context -> ?jitter:int * float -> unit -> runner
+(** [local ()] is the default fault-free runner (optionally jittered).
+    [cost] threads a {!Cr_obs.Cost} accumulator into every execution;
+    the protocols pass their [Wire]-measured [measure] hooks through
+    [execute], so a costed runner sees real message bits. *)
+val local :
+  ?obs:Cr_obs.Trace.context ->
+  ?jitter:int * float ->
+  ?cost:Cr_obs.Cost.t ->
+  unit ->
+  runner

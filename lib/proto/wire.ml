@@ -1,0 +1,25 @@
+module Bitbuf = Cr_codec.Bitbuf
+
+let bits_for count =
+  if count < 1 then invalid_arg "Wire.bits_for: empty universe";
+  let rec go b = if 1 lsl b >= count then b else go (b + 1) in
+  go 1
+
+let node_bits ~n = bits_for n
+
+let measure f =
+  let w = Bitbuf.writer () in
+  f w;
+  Bitbuf.length_bits w
+
+let push_node w ~n v = Bitbuf.push w ~bits:(node_bits ~n) v
+let push_opt_node w ~n v = Bitbuf.push w ~bits:(bits_for (n + 1)) (v + 1)
+
+let push_float w x =
+  let b = Int64.bits_of_float x in
+  Bitbuf.push w ~bits:32 (Int64.to_int (Int64.shift_right_logical b 32));
+  Bitbuf.push w ~bits:32 (Int64.to_int (Int64.logand b 0xFFFFFFFFL))
+
+let push_bool w b = Bitbuf.push w ~bits:1 (if b then 1 else 0)
+let push_tag w ~cases v = Bitbuf.push w ~bits:(bits_for cases) v
+let push_seq w v = Bitbuf.push w ~bits:32 (v land 0xFFFFFFFF)

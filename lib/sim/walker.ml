@@ -1,6 +1,7 @@
 module Metric = Cr_metric.Metric
 module Graph = Cr_metric.Graph
 module Trace = Cr_obs.Trace
+module Cost = Cr_obs.Cost
 
 exception Hop_budget_exhausted
 
@@ -16,15 +17,20 @@ type t = {
   obs : Trace.context;
   mutable phase : Trace.phase;
   failures : Failures.t;
+  acct : Cost.t;  (* per-edge routed-traffic accounting *)
+  hop_bits : int;  (* bits charged per forwarded packet *)
 }
 
-let create ?obs ?(failures = Failures.none) m ~start ~max_hops =
+let create ?obs ?(failures = Failures.none) ?(cost = Cost.null)
+    ?(hop_bits = 0) m ~start ~max_hops =
   if start < 0 || start >= Metric.n m then
     invalid_arg "Walker.create: start out of range";
   if Failures.node_failed failures start then
     invalid_arg "Walker.create: start node is failed";
+  if hop_bits < 0 then invalid_arg "Walker.create: negative hop_bits";
   { metric = m; position = start; cost = 0.0; hops = 0; trail = [ start ];
-    max_hops; obs = Trace.resolve obs; phase = Trace.Unphased; failures }
+    max_hops; obs = Trace.resolve obs; phase = Trace.Unphased; failures;
+    acct = cost; hop_bits }
 
 let position w = w.position
 let cost w = w.cost
@@ -69,7 +75,12 @@ let step w v =
     w.cost <- w.cost +. weight;
     if Trace.enabled w.obs then
       Trace.hop w.obs ~kind:Trace.Edge ~src ~dst:v ~cost:weight ~total:w.cost
-        ~phase:w.phase
+        ~phase:w.phase;
+    if Cost.enabled w.acct then
+      (* same accounting as the protocol simulator: one message on the
+         traversed edge, round = hop index, phase = the route phase *)
+      Cost.record w.acct ~phase:(Trace.phase_label w.phase) ~src ~dst:v
+        ~round:(w.hops - 1) ~bits:w.hop_bits
 
 let walk_shortest_path w dst =
   if dst <> w.position then
@@ -95,8 +106,16 @@ let teleport w v ~cost =
   w.position <- v;
   w.trail <- v :: w.trail;
   w.cost <- w.cost +. cost;
-  if Trace.enabled w.obs then
-    let phase = if w.phase = Trace.Unphased then Trace.Teleport else w.phase in
-    Trace.hop w.obs ~kind:Trace.Jump ~src ~dst:v ~cost ~total:w.cost ~phase
+  (if Trace.enabled w.obs then
+     let phase = if w.phase = Trace.Unphased then Trace.Teleport else w.phase in
+     Trace.hop w.obs ~kind:Trace.Jump ~src ~dst:v ~cost ~total:w.cost ~phase);
+  if Cost.enabled w.acct then
+    (* a teleport is out-of-band traffic: charge the phase totals but no
+       graph edge *)
+    let phase =
+      if w.phase = Trace.Unphased then Trace.Teleport else w.phase
+    in
+    Cost.record w.acct ~phase:(Trace.phase_label phase) ~src:(-1) ~dst:v
+      ~round:(w.hops - 1) ~bits:w.hop_bits
 
 let trail w = List.rev w.trail

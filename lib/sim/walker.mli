@@ -20,9 +20,18 @@ exception Blocked of { src : int; dst : int }
     per step/charge/teleport, tagged with the current {!phase}.
     [failures] (default {!Failures.none}) makes moves onto failed
     edges/nodes raise {!Blocked}; a failed start node is rejected
-    outright. *)
+    outright.
+
+    [cost] (default disabled) reuses the protocol simulator's
+    {!Cr_obs.Cost} per-edge accounting for routed traffic: every {!step}
+    charges one message of [hop_bits] bits (default 0 — hop counting
+    only) to the traversed edge, with round = hop index and phase = the
+    current route phase's label; {!teleport} charges the phase totals
+    but no edge. {!charge} is analytic cost, not traffic, and charges
+    nothing. *)
 val create :
   ?obs:Cr_obs.Trace.context -> ?failures:Failures.t ->
+  ?cost:Cr_obs.Cost.t -> ?hop_bits:int ->
   Cr_metric.Metric.t -> start:int -> max_hops:int -> t
 
 (** [obs w] is the walker's observability context. *)

@@ -24,5 +24,6 @@ let () =
       ("codec", Test_codec.suite);
       ("verify", Test_verify.suite);
       ("rings", Test_rings.suite);
+      ("cost", Test_cost.suite);
       ("integration", Test_integration.suite);
       ("lint", Test_lint.suite) ]

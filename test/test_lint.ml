@@ -48,6 +48,22 @@ let guarded_metrics =
   "let f ctx reg =\n\
   \  if Trace.enabled ctx then Cr_obs.Metrics.observe reg \"cost\" 2.0\n"
 
+let unguarded_cost =
+  "let f cost = Cr_obs.Cost.record cost ~phase:\"p\" ~src:0 ~dst:1 ~round:0\n\
+  \    ~bits:8\n"
+
+let guarded_cost =
+  "let f cost =\n\
+  \  if Cr_obs.Cost.enabled cost then\n\
+  \    Cr_obs.Cost.record cost ~phase:\"p\" ~src:0 ~dst:1 ~round:0 ~bits:8\n"
+
+(* a Trace.enabled guard dominates Cost emissions too (one flag is
+   enough when the caller ties both contexts together) *)
+let trace_guarded_cost =
+  "let f ctx cost =\n\
+  \  if Trace.enabled ctx then\n\
+  \    Cr_obs.Cost.record cost ~phase:\"p\" ~src:0 ~dst:1 ~round:0 ~bits:8\n"
+
 (* offline registry use: construction / sink folding are not emissions *)
 let metrics_sink_is_exempt =
   "let f events =\n\
@@ -268,6 +284,14 @@ let suite =
       (clean "metrics guarded" ~rel:"lib/sim/fixture.ml" guarded_metrics);
     case "trace-guard: Metrics sink folding is exempt"
       (clean "metrics sink" ~rel:"lib/sim/fixture.ml" metrics_sink_is_exempt);
+    case "trace-guard: unguarded Cost emission fires"
+      (fires_once "cost" "trace-guard" ~rel:"lib/proto/fixture.ml"
+         unguarded_cost);
+    case "trace-guard: Cost.enabled guard silences"
+      (clean "cost guarded" ~rel:"lib/proto/fixture.ml" guarded_cost);
+    case "trace-guard: Trace.enabled guard covers Cost emissions"
+      (clean "cost trace-guarded" ~rel:"lib/proto/fixture.ml"
+         trace_guarded_cost);
     case "determinism: Hashtbl.fold in pooled dirs fires"
       (fires_once "determinism" "determinism" ~rel:"lib/metric/fixture.ml"
          hashtbl_fold);

@@ -19,18 +19,25 @@ let id = "trace-guard"
 
 let trace_fns = [ "emit"; "counter"; "mark"; "hop"; "message" ]
 let metrics_fns = [ "inc"; "set"; "observe" ]
+let cost_fns = [ "record"; "emit" ]
 
 (* (module, fn) of an emission call, e.g. ("Trace", "hop"). *)
 let emission_name f =
   match List.rev (A.path_of f) with
   | fn :: "Trace" :: _ when List.mem fn trace_fns -> Some ("Trace", fn)
   | fn :: "Metrics" :: _ when List.mem fn metrics_fns -> Some ("Metrics", fn)
+  | fn :: "Cost" :: _ when List.mem fn cost_fns -> Some ("Cost", fn)
   | _ -> None
 
+(* Cost accounting carries its own enabled flag (the null-accumulator
+   pattern mirrors the null trace context), so either guard satisfies
+   the zero-overhead contract. *)
 let is_enabled_app e =
   match e.pexp_desc with
   | Pexp_apply (f, _) ->
-    A.ends_with ~suffix:[ "Trace"; "enabled" ] (A.path_of f)
+    let path = A.path_of f in
+    A.ends_with ~suffix:[ "Trace"; "enabled" ] path
+    || A.ends_with ~suffix:[ "Cost"; "enabled" ] path
   | _ -> false
 
 let mentions_enabled e = A.exists_expr is_enabled_app e
@@ -67,8 +74,9 @@ let check (input : Rule.input) =
                 Rule.diag ~rule:id ~file:input.Rule.rel ~loc:e.pexp_loc
                   (Printf.sprintf
                      "unguarded %s.%s emission; dominate it with `if \
-                      Trace.enabled ctx then ...` so the null-sink path \
-                      stays zero-overhead"
+                      Trace.enabled ctx then ...` (or `if Cost.enabled \
+                      cost then ...`) so the null-sink path stays \
+                      zero-overhead"
                      m fn)
                 :: !diags
             | None -> ());
@@ -81,7 +89,7 @@ let check (input : Rule.input) =
 let rule =
   { Rule.id;
     doc =
-      "Trace/Metrics emissions outside lib/obs must be guarded by \
-       Trace.enabled (zero-overhead null sink)";
+      "Trace/Metrics/Cost emissions outside lib/obs must be guarded by \
+       Trace.enabled or Cost.enabled (zero-overhead null sink)";
     applies = (fun rel -> not (Rule.under [ "lib/obs" ] rel));
     check }

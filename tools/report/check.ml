@@ -40,6 +40,45 @@ let check_row ~epsilon row =
           (if value <= limit then "within bound" else "EXCEEDS bound")
           value limit detail }
   in
+  (* E19 CONGEST sanity: any row carrying cost.* metrics (one distributed
+     construction run under Cr_obs.Cost accounting) must look like a
+     flood-bounded protocol — rounds near (Delta x log Delta), messages
+     within a constant of the n*m-per-level flood bound, bits a bounded
+     multiple of messages — and the accounting layer must agree exactly
+     with the simulator's own delivery count. *)
+  let cost_findings =
+    match metric "cost.rounds" with
+    | None -> []
+    | Some rounds -> (
+      match
+        ( metric "n", metric "delta", metric "edges",
+          metric "cost.messages", metric "cost.bits",
+          metric "network.messages" )
+      with
+      | Some nf, Some delta, Some m, Some msgs, Some bits, Some net ->
+        let lg = Float.max 1.0 (log2 delta) in
+        let conserved = Float.equal msgs net in
+        [ bound "congest-rounds" rounds
+            (4.0 *. (delta +. 2.0) *. (lg +. 2.0))
+            " (4 (Delta+2) (log Delta + 2))";
+          bound "congest-messages" msgs
+            (2.0 *. nf *. m *. (lg +. 2.0))
+            " (2 n m (log Delta + 2))";
+          bound "congest-bits" bits (256.0 *. msgs) " (256 bits/message)";
+          { ok = conserved;
+            path = key "congest-conservation";
+            message =
+              Printf.sprintf "%s: cost.messages %d %s network.messages %d"
+                (if conserved then "accounting conserved"
+                 else "ACCOUNTING DRIFT")
+                (int_of_float msgs)
+                (if conserved then "=" else "<>")
+                (int_of_float net) } ]
+      | _ ->
+        [ { ok = false;
+            path = key "congest-skip";
+            message = "cost.* row lacks n/delta/edges/messages metrics" } ])
+  in
   let fallback_findings =
     match metric "fallback_count" with
     | Some f ->
@@ -50,8 +89,9 @@ let check_row ~epsilon row =
              else Printf.sprintf "fallback exercised %d times" (int_of_float f)) } ]
     | None -> []
   in
+  let extra_findings = cost_findings @ fallback_findings in
   match classify (str "scheme") with
-  | None -> fallback_findings
+  | None -> extra_findings
   | Some (cls, carries_delta) -> (
     match (metric "stretch.max", metric "n", metric "delta") with
     | Some stretch, Some nf, Some delta ->
@@ -97,12 +137,12 @@ let check_row ~epsilon row =
                   (int_of_float expected) } ]
         | _ -> []
       in
-      stretch_findings @ table_findings @ label_findings @ fallback_findings
+      stretch_findings @ table_findings @ label_findings @ extra_findings
     | _ ->
       { ok = true;
         path = key "skip";
         message = "row lacks stretch.max/n/delta; skipped" }
-      :: fallback_findings)
+      :: extra_findings)
 
 let check_report ?(epsilon = 0.5) report =
   match Json.member "rows" report with

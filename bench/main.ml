@@ -35,6 +35,7 @@ let experiments =
      Exp_faults.run);
     ("e19", "CONGEST cost: rounds / messages / bits / congestion",
      Exp_cost.run);
+    ("e20", "route serving: compiled tables, served = walked", Exp_serve.run);
     ("bechamel", "timing micro-benchmarks", Exp_bechamel.run) ]
 
 (* `parallel-scaling` is the documented name of E17; the alias resolves on

@@ -453,6 +453,117 @@ let stats_cmd =
     Term.(
       const stats $ family_arg $ scheme_arg $ epsilon_arg $ seed_arg $ pairs)
 
+(* serve: compile the scheme into Cr_serve's flat arenas, serve a
+   workload from them, and verify the served outcomes against the
+   scheme's own walker routes. *)
+
+let serve family scheme_kind epsilon seed pairs_budget =
+  let module Engine = Cr_serve.Engine in
+  let metric, nt = load family in
+  let n = Metric.n metric in
+  let naming = Workload.random_naming ~n ~seed in
+  let pairs = Workload.pairs_for ~n ~seed:(seed + 1) ~budget:pairs_budget in
+  let timed f =
+    let t0 = Cr_obs.Trace.wall_clock () in
+    let r = f () in
+    (r, Cr_obs.Trace.wall_clock () -. t0)
+  in
+  let compiled =
+    match scheme_kind with
+    | St -> None
+    | Ft ->
+      let s = Cr_baselines.Full_table.labeled metric in
+      Some
+        ( timed (fun () -> Engine.compile_full metric),
+          fun ~src ~dst -> Scheme.route_labeled s ~src ~dst )
+    | Hier ->
+      let t = Cr_core.Hier_labeled.build nt ~epsilon in
+      let s = Cr_core.Hier_labeled.to_scheme t in
+      Some
+        ( timed (fun () -> Engine.compile_hier t),
+          fun ~src ~dst -> Scheme.route_labeled s ~src ~dst )
+    | Sfl ->
+      let t = Cr_core.Scale_free_labeled.build nt ~epsilon in
+      let s = Cr_core.Scale_free_labeled.to_scheme t in
+      Some
+        ( timed (fun () -> Engine.compile_scale_free_labeled t),
+          fun ~src ~dst -> Scheme.route_labeled s ~src ~dst )
+    | Simple ->
+      let hl = Cr_core.Hier_labeled.build nt ~epsilon in
+      let t =
+        Cr_core.Simple_ni.build nt ~epsilon ~naming
+          ~underlying:(Cr_core.Hier_labeled.to_underlying hl)
+      in
+      let s = Cr_core.Simple_ni.to_scheme t in
+      Some
+        ( timed (fun () ->
+              Engine.compile_simple_ni
+                ~underlying:(Engine.compile_hier hl) t),
+          fun ~src ~dst ->
+            s.Scheme.route_to_name ~src
+              ~dest_name:naming.Workload.name_of.(dst) )
+    | Sfni ->
+      let sfl = Cr_core.Scale_free_labeled.build nt ~epsilon in
+      let t =
+        Cr_core.Scale_free_ni.build nt ~epsilon ~naming
+          ~underlying:(Cr_core.Scale_free_labeled.to_underlying sfl)
+      in
+      let s = Cr_core.Scale_free_ni.to_scheme t in
+      Some
+        ( timed (fun () ->
+              Engine.compile_scale_free_ni
+                ~underlying:(Engine.compile_scale_free_labeled sfl) t),
+          fun ~src ~dst ->
+            s.Scheme.route_to_name ~src
+              ~dest_name:naming.Workload.name_of.(dst) )
+  in
+  match compiled with
+  | None ->
+    Printf.eprintf "serve: no compiled engine for the spanning-tree scheme\n";
+    1
+  | Some ((eng, t_compile), walked_route) ->
+    let parr = Array.of_list pairs in
+    let served, t_batch = timed (fun () -> Engine.batch eng parr) in
+    let identical =
+      Array.for_all2
+        (fun (o : Scheme.outcome) (src, dst) ->
+          let w = walked_route ~src ~dst in
+          Float.equal o.Scheme.cost w.Scheme.cost && o.Scheme.hops = w.Scheme.hops)
+        served parr
+    in
+    let bits_max = ref 0 and bits_sum = ref 0 in
+    for v = 0 to n - 1 do
+      let b = Engine.compiled_bits eng v in
+      if b > !bits_max then bits_max := b;
+      bits_sum := !bits_sum + b
+    done;
+    Printf.printf "serving %s on %s (n=%d)\n" (Engine.scheme_name eng) family n;
+    Printf.printf "compile       %.3fs\n" t_compile;
+    Printf.printf "compiled bits max %d avg %.1f (%.1f arena bytes/node)\n"
+      !bits_max
+      (float_of_int !bits_sum /. float_of_int n)
+      (Engine.bytes_per_node eng);
+    Printf.printf "served        %d routes in %.3fs (%.0f routes/s)\n"
+      (Array.length parr) t_batch
+      (if t_batch > 0.0 then float_of_int (Array.length parr) /. t_batch
+       else 0.0);
+    Printf.printf "served = walked: %s\n" (if identical then "yes" else "NO");
+    if identical then 0 else 1
+
+let serve_cmd =
+  let pairs =
+    Arg.(
+      value & opt int 2000
+      & info [ "pairs" ] ~docv:"N" ~doc:"Pair budget (all pairs if fewer).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Compile a scheme's tables into flat serving arenas, serve a \
+          workload, and verify the served routes against the walker")
+    Term.(
+      const serve $ family_arg $ scheme_arg $ epsilon_arg $ seed_arg $ pairs)
+
 (* verify: run every structural invariant check *)
 
 let verify family =
@@ -641,7 +752,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "crdemo" ~version:"1.0"
        ~doc:"Compact routing schemes in low-doubling networks")
-    [ inspect_cmd; route_cmd; stats_cmd; trace_cmd; metrics_cmd; verify_cmd;
-      faults_cmd; cost_cmd ]
+    [ inspect_cmd; route_cmd; stats_cmd; serve_cmd; trace_cmd; metrics_cmd;
+      verify_cmd; faults_cmd; cost_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -71,8 +71,11 @@ let table_bits t v =
     let landmarks = Array.fold_left (fun a b -> if b then a + 1 else a) 0 t.is_landmark in
     ((landmarks + t.bunch_size.(v)) * id) + id
 
-let labeled m ~seed =
-  let t = build m ~seed in
+let home t u = t.home.(u)
+let is_landmark t u = t.is_landmark.(u)
+
+let labeled_of t =
+  let m = t.metric in
   { Scheme.l_name = "landmark (TZ stretch-3)";
     label = Fun.id;
     route_to_label = (fun ~src ~dest_label -> route t ~src ~dst:dest_label);
@@ -80,12 +83,16 @@ let labeled m ~seed =
     l_label_bits = Bits.id_bits (Metric.n m);
     l_header_bits = 2 * Bits.id_bits (Metric.n m) }
 
-let name_independent m (naming : Workload.naming) ~seed =
-  let t = build m ~seed in
-  let n = Metric.n m in
+let name_independent_of t (naming : Workload.naming) =
+  let n = Metric.n t.metric in
   { Scheme.ni_name = "landmark (TZ stretch-3)";
     route_to_name =
       (fun ~src ~dest_name ->
         route t ~src ~dst:naming.Workload.node_of.(dest_name));
     ni_table_bits = (fun v -> table_bits t v + (n * Bits.id_bits n));
-    ni_header_bits = 2 * Bits.id_bits (Metric.n m) }
+    ni_header_bits = 2 * Bits.id_bits n }
+
+let labeled m ~seed = labeled_of (build m ~seed)
+
+let name_independent m (naming : Workload.naming) ~seed =
+  name_independent_of (build m ~seed) naming

@@ -12,6 +12,33 @@
     d(u, l(u)) + d(l(u), v) <= 2 d(u,v) + d(u,v) = 3 d(u,v)
     because v outside the bunch certifies d(u, l(u)) <= d(u, v). *)
 
+type t
+
+(** [build m ~seed] samples the landmark set and precomputes every node's
+    home landmark and bunch size. The concrete scheme values below and the
+    route-serving compiler ([Cr_serve]) both work from this shared state,
+    so a compiled engine and the walker make identical decisions. *)
+val build : Cr_metric.Metric.t -> seed:int -> t
+
+(** [home t u] is l(u), u's nearest landmark (ties to the least id). *)
+val home : t -> int -> int
+
+val is_landmark : t -> int -> bool
+
+(** [route t ~src ~dst] walks a fresh packet: directly when [dst] is in
+    [src]'s bunch (or [src] is a landmark), else via [home t src]. *)
+val route : t -> src:int -> dst:int -> Cr_sim.Scheme.outcome
+
+(** [table_bits t v] is the measured per-node storage in bits. *)
+val table_bits : t -> int -> int
+
+(** [labeled_of t] / [name_independent_of t naming] package prebuilt state
+    as measurement-harness scheme values. *)
+val labeled_of : t -> Cr_sim.Scheme.labeled
+
+val name_independent_of :
+  t -> Cr_sim.Workload.naming -> Cr_sim.Scheme.name_independent
+
 (** [labeled m ~seed] builds the scheme with a seeded landmark sample. *)
 val labeled : Cr_metric.Metric.t -> seed:int -> Cr_sim.Scheme.labeled
 

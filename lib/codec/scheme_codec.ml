@@ -10,9 +10,13 @@ let framing scheme =
   let m = Hierarchy.metric h in
   (nt, m, Metric.n m, Hierarchy.top_level h + 1)
 
-let ring_levels scheme v =
-  let nt, m, _, _ = framing scheme in
-  let rings = Hier_labeled.rings scheme in
+(* Generic over the ring mode: All_levels (the Lemma 3.1 scheme) and
+   Selected (the Theorem 1.2 scheme) produce the same wire layout, one
+   encoded level per selected level. The route-serving compiler loads both
+   schemes' ring state through this single extraction. *)
+let ring_levels_of rings v =
+  let nt = Rings.netting_tree rings in
+  let m = Hierarchy.metric (Netting_tree.hierarchy nt) in
   List.map
     (fun level ->
       let entries =
@@ -28,6 +32,8 @@ let ring_levels scheme v =
       in
       { Table_codec.level; entries })
     (Rings.selected_levels rings v)
+
+let ring_levels scheme v = ring_levels_of (Hier_labeled.rings scheme) v
 
 let encode_node scheme v =
   let _, _, n, level_count = framing scheme in

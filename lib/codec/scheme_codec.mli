@@ -10,6 +10,15 @@
     accounting: the measured "table bits" correspond to a real wire format
     a router could ship. *)
 
+(** [ring_levels_of rings v] extracts node [v]'s ring tables (every
+    selected level, with ranges and precomputed next hops) in wire order —
+    the codec- and serving-layer view of either ring mode ([All_levels] or
+    [Selected]). The stored next hop toward member [x] is exactly
+    [Metric.next_hop ~src:v ~dst:x] ([v] itself for [x = v]), so replaying
+    decisions from the encoded table agrees hop-for-hop with the walker. *)
+val ring_levels_of :
+  Cr_core.Rings.t -> int -> Table_codec.ring_level list
+
 (** [encode_node scheme v] is node [v]'s routing table on the wire. *)
 val encode_node : Cr_core.Hier_labeled.t -> int -> Bytes.t
 

@@ -165,6 +165,13 @@ let build ?obs ?(pool = Cr_par.Pool.default ()) nt ~epsilon =
 
 let label t v = Netting_tree.label t.nt v
 
+let rings t = t.rings
+let netting_tree t = t.nt
+let packing_scales t = Array.length t.levels_j
+let scale_voronoi t ~scale = t.levels_j.(scale).voronoi
+let scale_router t ~scale ~center = Hashtbl.find t.levels_j.(scale).routers center
+let scale_search t ~scale ~center = Hashtbl.find t.levels_j.(scale).search center
+
 let top_j t = Array.length t.levels_j - 1
 
 (* Line 7 of Algorithm 5: the scale j with r_u(j) <= 2^i < r_u(j+1). *)

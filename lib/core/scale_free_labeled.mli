@@ -37,6 +37,29 @@ val build :
     number). *)
 val label : t -> int -> int
 
+(** Structure accessors for the route-serving compiler ([Cr_serve]) and the
+    wire-format codec: the selected-mode rings, the netting tree, and the
+    per-packing-scale Voronoi partitions and per-cell directories. The
+    returned values are shared, immutable views of the scheme's own state —
+    a compiled engine making the same lookups is guaranteed the walker's
+    exact decisions. *)
+val rings : t -> Rings.t
+
+val netting_tree : t -> Cr_nets.Netting_tree.t
+
+(** [packing_scales t] is the number of packing scales j (indices
+    [0 .. packing_scales t - 1]). *)
+val packing_scales : t -> int
+
+val scale_voronoi : t -> scale:int -> Cr_packing.Voronoi.t
+
+(** [scale_router t ~scale ~center] / [scale_search t ~scale ~center] are
+    cell [center]'s interval router T_c(j) and search tree II. Raise
+    [Not_found] if [center] is not a packing center at [scale]. *)
+val scale_router : t -> scale:int -> center:int -> Cr_tree.Interval_routing.t
+
+val scale_search : t -> scale:int -> center:int -> Cr_search.Search_tree.t
+
 (** Phase breakdown of one Algorithm 5 route, as reported to a [walk]
     observer — the data Figure 2 illustrates. [exit_level] and [scale] are
     -1 when the ring phase delivered the packet by itself. *)

@@ -192,6 +192,16 @@ let build ?obs ?(pool = Cr_par.Pool.default ()) nt ~epsilon ~naming
   end;
   t
 
+let naming t = t.naming
+let underlying t = t.underlying
+let top_level t = t.top
+let hub t ~src ~level = Zoom.step t.zoom src level
+
+let site t ~level ~hub =
+  match Hashtbl.find t.sites (level, hub) with
+  | Local st -> `Local st
+  | Link pt -> `Link (pt.center, pt.st)
+
 let execute_search t w st ~key =
   let result = Search_tree.search st ~key in
   List.iter

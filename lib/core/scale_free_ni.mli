@@ -55,6 +55,26 @@ val walk :
     for this pair (the Figure 1 quantity). *)
 val found_level : t -> src:int -> dest_name:int -> int
 
+(** Structure accessors for the route-serving compiler ([Cr_serve]),
+    mirroring {!Simple_ni}'s: the naming, the top level, the
+    zooming-sequence hubs, and each search site of Algorithm 4 — either the
+    hub's own type-A tree, or the H(u, i) link as the linked ball's
+    [(center, type-B tree)]. Shared immutable views; [site] raises
+    [Not_found] if [hub] is not a level-[level] net point. *)
+val naming : t -> Cr_sim.Workload.naming
+
+(** [underlying t] is the labeled scheme all travel executes through. *)
+val underlying : t -> Underlying.t
+
+val top_level : t -> int
+
+val hub : t -> src:int -> level:int -> int
+
+val site :
+  t -> level:int -> hub:int ->
+  [ `Local of Cr_search.Search_tree.t
+  | `Link of int * Cr_search.Search_tree.t ]
+
 (** [type_a_count t] / [type_b_count t] are the numbers of net-ball and
     packing-ball search trees built — the balance Claims 3.6/3.7 reason
     about. *)

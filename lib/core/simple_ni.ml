@@ -89,6 +89,13 @@ let build ?obs ?(pool = Cr_par.Pool.default ()) ?(min_level = 0) nt ~epsilon
   end;
   t
 
+let naming t = t.naming
+let underlying t = t.underlying
+let top_level t = t.top
+let start_level t = t.min_level
+let hub t ~src ~level = Zoom.step t.zoom src level
+let search_tree t ~level ~hub = Hashtbl.find t.trees (level, hub)
+
 (* Execute a search's virtual-edge trail: every leg endpoint holds the
    other's routing label, so each leg is one underlying labeled route. *)
 let execute_search t w st ~key =

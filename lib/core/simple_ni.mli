@@ -60,6 +60,28 @@ val walk :
     lookup would succeed for this pair — the quantity Figure 1 plots. *)
 val found_level : t -> src:int -> dest_name:int -> int
 
+(** Structure accessors for the route-serving compiler ([Cr_serve]): the
+    naming, the lookup-loop level range, the zooming-sequence hubs, and
+    each level's per-hub search tree (a shared immutable view — a compiled
+    engine searching the same tree replays the walker's exact legs).
+    [search_tree] raises [Not_found] if [hub] is not a level-[level] net
+    point (or the level is below [start_level]). *)
+val naming : t -> Cr_sim.Workload.naming
+
+(** [underlying t] is the labeled scheme all travel executes through. *)
+val underlying : t -> Underlying.t
+
+val top_level : t -> int
+
+(** [start_level t] is the [min_level] the lookup loop starts at. *)
+val start_level : t -> int
+
+(** [hub t ~src ~level] is src(level), the zooming-sequence hub Algorithm 3
+    visits at [level]. *)
+val hub : t -> src:int -> level:int -> int
+
+val search_tree : t -> level:int -> hub:int -> Cr_search.Search_tree.t
+
 (** [table_bits t v] is the measured per-node storage in bits, including
     the underlying labeled scheme's tables. *)
 val table_bits : t -> int -> int

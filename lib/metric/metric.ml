@@ -124,4 +124,27 @@ let next_hop m ~src ~dst =
   if src = dst then invalid_arg "Metric.next_hop: src = dst";
   Dijkstra.next_hop_toward m.sssp.(src) dst
 
+(* One dynamic-programming sweep over the predecessor forest instead of n
+   path reconstructions: a node's first hop is its own id when its
+   predecessor is the source, else its predecessor's first hop. Edge
+   weights are strictly positive, so dist strictly increases along every
+   predecessor chain and processing nodes in ascending distance order sees
+   each predecessor before its children. *)
+let first_hops m ~src =
+  let r = m.sssp.(src) in
+  let hop = Array.make m.n (-1) in
+  let order = Array.init m.n Fun.id in
+  Array.sort
+    (fun a b -> Float.compare r.Dijkstra.dist.(a) r.Dijkstra.dist.(b))
+    order;
+  Array.iter
+    (fun v ->
+      if v <> src then begin
+        let p = r.Dijkstra.pred.(v) in
+        if p = src then hop.(v) <- v
+        else if p >= 0 then hop.(v) <- hop.(p)
+      end)
+    order;
+  hop
+
 let shortest_path m ~src ~dst = Dijkstra.path m.sssp.(src) dst

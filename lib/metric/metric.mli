@@ -81,3 +81,11 @@ val next_hop : t -> src:int -> dst:int -> int
 (** [shortest_path m ~src ~dst] is the canonical shortest path, inclusive of
     both endpoints. *)
 val shortest_path : t -> src:int -> dst:int -> int list
+
+(** [first_hops m ~src] is the whole next-hop row of [src] at once:
+    a fresh array [h] with [h.(dst) = next_hop m ~src ~dst] for every
+    [dst <> src] and [h.(src) = -1]. Computed in one O(n log n) sweep of
+    the canonical shortest-path forest (agreeing hop-for-hop with
+    {!next_hop}) — the bulk primitive the route-serving engine compiles
+    full next-hop tables from. *)
+val first_hops : t -> src:int -> int array

@@ -1,0 +1,58 @@
+(** Compiled ring tables: every node's wire-encoded ring state, decoded
+    once at load time into a struct-of-arrays arena.
+
+    The storage format is exactly [Cr_codec.Table_codec]'s bit layout —
+    [compile] round-trips each node's levels through
+    [encode_rings]/[decode_rings] so the arena provably holds nothing the
+    wire bytes don't. The hot queries ([cover], [next_hop]) are linear
+    scans over int arrays: no closures, no options, no allocation. *)
+
+type t
+
+(** [compile ?pool m ~level_count ~levels_of] encodes, decodes, and
+    flattens every node's ring levels ([levels_of v] in wire order, as
+    produced by [Cr_codec.Scheme_codec.ring_levels_of]). Per-entry
+    member distances are re-derived from [m] at load time (they are not
+    part of the wire format; the scale-free scheme's forwarding test
+    needs them). Per-node work fans out over [pool]; the arena is
+    identical whatever the pool size. *)
+val compile :
+  ?pool:Cr_par.Pool.t ->
+  Cr_metric.Metric.t ->
+  level_count:int ->
+  levels_of:(int -> Cr_codec.Table_codec.ring_level list) ->
+  t
+
+val n : t -> int
+
+(** [bits t v] is node [v]'s exact wire size ([Table_codec.rings_bits]). *)
+val bits : t -> int -> int
+
+(** [cover t ~at ~label] is the arena index of the minimal-level ring
+    entry at [at] whose range covers [label] (-1 if none) — the flat
+    mirror of [Rings.minimal_cover_level]: levels are scanned in stored
+    (increasing) order and the per-level covering member is unique.
+    Allocation-free. *)
+val cover : t -> at:int -> label:int -> int
+
+(** [next_hop t ~at ~label] is the stored next hop of the covering entry
+    (-1 if no level covers). Allocation-free. *)
+val next_hop : t -> at:int -> label:int -> int
+
+(** Entry-field accessors for an index returned by [cover]. *)
+val entry_level : t -> int -> int
+
+val entry_member : t -> int -> int
+val entry_hop : t -> int -> int
+
+(** [entry_dist t e] is d(node, member) for entry [e], precomputed at
+    load. *)
+val entry_dist : t -> int -> float
+
+(** [levels_of t v] reconstructs node [v]'s decoded ring levels — the
+    inverse of flattening, used by the codec idempotence test
+    (re-encoding it must reproduce the original wire bytes). *)
+val levels_of : t -> int -> Cr_codec.Table_codec.ring_level list
+
+(** [words t] is the arena size in machine words (array payloads only). *)
+val words : t -> int

@@ -1,0 +1,17 @@
+(* Regenerates the golden Figure 1 trace for test/golden/. Wired into the
+   @golden alias: `dune build @golden` diffs the freshly generated JSONL
+   against the committed file, and `dune promote` copies it over when a
+   trace-format change is intentional. Must stay in lockstep with
+   test_obs.ml's golden fixture (grid-10x10, naming seed 42, pairs
+   seed 17, six pairs). *)
+
+let () =
+  let m = Cr_metric.Metric.of_graph (Cr_graphgen.Grid.square ~side:10) in
+  let nt = Cr_nets.Netting_tree.build (Cr_nets.Hierarchy.build m) in
+  let naming =
+    Cr_sim.Workload.random_naming ~n:(Cr_metric.Metric.n m) ~seed:42
+  in
+  let pairs = Cr_core.Route_trace.sample_pairs m ~count:6 ~seed:17 in
+  print_string
+    (Cr_core.Route_trace.to_jsonl
+       (Cr_core.Route_trace.fig1_simple_ni nt ~naming ~pairs))

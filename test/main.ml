@@ -26,4 +26,6 @@ let () =
       ("rings", Test_rings.suite);
       ("cost", Test_cost.suite);
       ("integration", Test_integration.suite);
+      ("serve", Test_serve.suite);
+      ("registry", Test_registry.suite);
       ("lint", Test_lint.suite) ]

@@ -219,10 +219,10 @@ let test_network_metrics () =
   check_float "makespan counter" 3.0 (List.assoc "network.makespan" counters)
 
 (* Golden trace: the Figure 1 JSONL for grid-10x10 with the standard seeds
-   (naming 42, pairs 17) is byte-reproducible. Regenerate the golden file
-   with `dune exec bench/main.exe -- trace` and copy
-   trace_out/grid-10x10.fig1.jsonl over test/golden/grid-10x10.fig1.jsonl
-   whenever the trace format changes intentionally. *)
+   (naming 42, pairs 17) is byte-reproducible. Refresh the golden file
+   after an intentional trace-format change with `dune build @golden`
+   (regenerates via test/gen_golden.ml and diffs) followed by
+   `dune promote`. *)
 let test_golden_fig1_grid10 () =
   let m = Metric.of_graph (Cr_graphgen.Grid.square ~side:10) in
   let nt = Cr_nets.Netting_tree.build (Cr_nets.Hierarchy.build m) in

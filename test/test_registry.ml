@@ -1,0 +1,96 @@
+(* Registration audit: every test_*.ml on disk is registered in main.ml,
+   and every suite main.ml registers has a file on disk. A suite that is
+   written but never registered passes CI silently — this closes that
+   hole. *)
+
+(* The test binary runs from _build/default/test; the build context above
+   it holds the copied sources. Skip quietly if the layout ever changes. *)
+let find_source_root () =
+  let rec up dir n =
+    let has name = Sys.file_exists (Filename.concat dir name) in
+    if n = 0 then None
+    else if has "dune-project" && has "lib" && has "test" then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent (n - 1)
+  in
+  up (Sys.getcwd ()) 8
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* test_foo_bar.ml -> Test_foo_bar (the module name main.ml must mention) *)
+let modules_on_disk test_dir =
+  Sys.readdir test_dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 8
+         && String.equal (String.sub f 0 5) "test_"
+         && Filename.check_suffix f ".ml")
+  |> List.map (fun f -> String.capitalize_ascii (Filename.chop_suffix f ".ml"))
+  |> List.sort_uniq String.compare
+
+(* Occurrences of Test_<ident>.suite in main.ml. *)
+let modules_registered main_src =
+  let n = String.length main_src in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || Char.equal c '_'
+  in
+  let rec scan i acc =
+    if i >= n then acc
+    else
+      match String.index_from_opt main_src i 'T' with
+      | None -> acc
+      | Some j ->
+        if j + 5 <= n && String.equal (String.sub main_src j 5) "Test_" then begin
+          let k = ref (j + 5) in
+          while !k < n && is_ident main_src.[!k] do
+            incr k
+          done;
+          let m = String.sub main_src j (!k - j) in
+          let acc =
+            if
+              !k + 6 <= n
+              && String.equal (String.sub main_src !k 6) ".suite"
+            then m :: acc
+            else acc
+          in
+          scan !k acc
+        end
+        else scan (j + 1) acc
+  in
+  scan 0 [] |> List.sort_uniq String.compare
+
+let audit () =
+  match find_source_root () with
+  | None -> ()
+  | Some root ->
+    let test_dir = Filename.concat root "test" in
+    let main = Filename.concat test_dir "main.ml" in
+    if Sys.file_exists main then begin
+      let on_disk = modules_on_disk test_dir in
+      let registered = modules_registered (read_file main) in
+      Helpers.check_bool "found a plausible test tree" true
+        (List.length on_disk > 10);
+      List.iter
+        (fun m ->
+          Helpers.check_bool
+            (Printf.sprintf "%s.ml is registered in main.ml"
+               (String.uncapitalize_ascii m))
+            true
+            (List.mem m registered))
+        on_disk;
+      List.iter
+        (fun m ->
+          Helpers.check_bool
+            (Printf.sprintf "main.ml's %s has a source file on disk" m)
+            true
+            (List.mem m on_disk))
+        registered
+    end
+
+let suite =
+  [ Alcotest.test_case "every test file is registered, and vice versa" `Quick
+      audit ]

@@ -1,0 +1,407 @@
+(* Differential tests for the route-serving engine: served routes must be
+   indistinguishable from the schemes' own walker routes — byte-identical
+   traces, bit-identical costs, same hop sequences — for every scheme, on
+   every fixture, whatever the pool size. *)
+
+open Helpers
+module Metric = Cr_metric.Metric
+module Hierarchy = Cr_nets.Hierarchy
+module Netting_tree = Cr_nets.Netting_tree
+module Hier_labeled = Cr_core.Hier_labeled
+module Sfl = Cr_core.Scale_free_labeled
+module Simple_ni = Cr_core.Simple_ni
+module Sfni = Cr_core.Scale_free_ni
+module Rings = Cr_core.Rings
+module Landmark = Cr_baselines.Landmark
+module Full_table = Cr_baselines.Full_table
+module Walker = Cr_sim.Walker
+module Scheme = Cr_sim.Scheme
+module Workload = Cr_sim.Workload
+module Trace = Cr_obs.Trace
+module Sinks = Cr_obs.Sinks
+module Pool = Cr_par.Pool
+module Table_codec = Cr_codec.Table_codec
+module Scheme_codec = Cr_codec.Scheme_codec
+module Engine = Cr_serve.Engine
+module Tables = Cr_serve.Tables
+
+type fixture = {
+  m : Metric.t;
+  naming : Workload.naming;
+  hl : Hier_labeled.t;
+  sfl : Sfl.t;
+  sni : Simple_ni.t;
+  sfni : Sfni.t;
+  lm : Landmark.t;
+  e_hier : Engine.t;
+  e_sfl : Engine.t;
+  e_sni : Engine.t;
+  e_sfni : Engine.t;
+  e_full : Engine.t;
+  e_lm : Engine.t;
+}
+
+let make_fixture m =
+  let nt = Netting_tree.build (Hierarchy.build m) in
+  let naming = Workload.random_naming ~n:(Metric.n m) ~seed:42 in
+  let hl = Hier_labeled.build nt ~epsilon:0.5 in
+  let sfl = Sfl.build nt ~epsilon:0.5 in
+  let sni =
+    Simple_ni.build nt ~epsilon:0.5 ~naming
+      ~underlying:(Hier_labeled.to_underlying hl)
+  in
+  let sfni =
+    Sfni.build nt ~epsilon:0.5 ~naming
+      ~underlying:(Sfl.to_underlying sfl)
+  in
+  let lm = Landmark.build m ~seed:3 in
+  let e_hier = Engine.compile_hier hl in
+  let e_sfl = Engine.compile_scale_free_labeled sfl in
+  { m; naming; hl; sfl; sni; sfni; lm; e_hier; e_sfl;
+    e_sni = Engine.compile_simple_ni ~underlying:e_hier sni;
+    e_sfni = Engine.compile_scale_free_ni ~underlying:e_sfl sfni;
+    e_full = Engine.compile_full m;
+    e_lm = Engine.compile_landmark m lm }
+
+(* grid, geometric, and tree-like (exponential chain) fixtures *)
+let fx_grid = memo (fun () -> make_fixture (grid6 ()))
+let fx_geo = memo (fun () -> make_fixture (geo48 ()))
+let fx_expo = memo (fun () -> make_fixture (expo12 ()))
+
+let fixtures = [ ("grid6", fx_grid); ("geo48", fx_geo); ("expo12", fx_expo) ]
+
+(* The scheme-side walk and the engine serving it, per scheme. *)
+let core_schemes fx =
+  [ ( "hier",
+      (fun w dst ->
+        Hier_labeled.walk fx.hl w ~dest_label:(Hier_labeled.label fx.hl dst)),
+      fx.e_hier );
+    ( "sfl",
+      (fun w dst -> Sfl.walk fx.sfl w ~dest_label:(Sfl.label fx.sfl dst)),
+      fx.e_sfl );
+    ( "simple-ni",
+      (fun w dst ->
+        Simple_ni.walk fx.sni w ~dest_name:fx.naming.Workload.name_of.(dst)),
+      fx.e_sni );
+    ( "sf-ni",
+      (fun w dst ->
+        Sfni.walk fx.sfni w ~dest_name:fx.naming.Workload.name_of.(dst)),
+      fx.e_sfni ) ]
+
+(* The harness outcome evaluators, per engine (all six). *)
+let all_outcomes fx =
+  [ ( "hier",
+      (fun ~src ~dst ->
+        Scheme.route_labeled (Hier_labeled.to_scheme fx.hl) ~src ~dst),
+      fx.e_hier );
+    ( "sfl",
+      (fun ~src ~dst -> Scheme.route_labeled (Sfl.to_scheme fx.sfl) ~src ~dst),
+      fx.e_sfl );
+    ( "simple-ni",
+      (fun ~src ~dst ->
+        (Simple_ni.to_scheme fx.sni).Scheme.route_to_name ~src
+          ~dest_name:fx.naming.Workload.name_of.(dst)),
+      fx.e_sni );
+    ( "sf-ni",
+      (fun ~src ~dst ->
+        (Sfni.to_scheme fx.sfni).Scheme.route_to_name ~src
+          ~dest_name:fx.naming.Workload.name_of.(dst)),
+      fx.e_sfni );
+    ( "full",
+      (let ft = Full_table.labeled fx.m in
+       fun ~src ~dst -> Scheme.route_labeled ft ~src ~dst),
+      fx.e_full );
+    ("landmark", (fun ~src ~dst -> Landmark.route fx.lm ~src ~dst), fx.e_lm) ]
+
+let same_outcome (a : Scheme.outcome) (b : Scheme.outcome) =
+  Float.equal a.Scheme.cost b.Scheme.cost && a.Scheme.hops = b.Scheme.hops
+
+(* Every (src, dst) — diagonal included — for all six schemes: the served
+   outcome equals the walked outcome bit for bit (costs are float sums, so
+   equality requires the same additions in the same order). *)
+let test_outcomes_all_pairs fname fx () =
+  let fx = fx () in
+  let n = Metric.n fx.m in
+  let pairs = Workload.all_pairs n @ List.init n (fun v -> (v, v)) in
+  List.iter
+    (fun (sname, walked, eng) ->
+      List.iter
+        (fun (src, dst) ->
+          let a = walked ~src ~dst in
+          let b = Engine.route eng ~src ~dst in
+          check_bool
+            (Printf.sprintf "%s/%s (%d -> %d): served = walked" fname sname
+               src dst)
+            true (same_outcome a b))
+        pairs)
+    (all_outcomes fx)
+
+(* Byte-identical traces: running the engine's driver through a real
+   walker produces the exact event stream of the scheme's own walk —
+   same hops, same kinds, same phases, same cumulative costs. *)
+let capture m walkfn ~src =
+  let mem = Sinks.Memory.create ~capacity:262144 () in
+  let ctx = Trace.make ~clock:(Trace.counting_clock ()) (Sinks.Memory.sink mem) in
+  let w =
+    Walker.create ~obs:ctx m ~start:src ~max_hops:(50_000 + (200 * Metric.n m))
+  in
+  walkfn w;
+  ( List.map Sinks.json_of_event (Sinks.Memory.events mem),
+    Walker.cost w, Walker.hops w, Walker.trail w )
+
+let test_traces_identical fname fx () =
+  let fx = fx () in
+  let n = Metric.n fx.m in
+  let pairs =
+    Workload.sample_pairs ~n ~count:40 ~seed:13 @ [ (0, 0); (n - 1, n - 1) ]
+  in
+  List.iter
+    (fun (sname, walkfn, eng) ->
+      List.iter
+        (fun (src, dst) ->
+          let ev_w, cost_w, hops_w, trail_w =
+            capture fx.m (fun w -> walkfn w dst) ~src
+          in
+          let ev_s, cost_s, hops_s, trail_s =
+            capture fx.m (fun w -> Engine.walk eng w ~dst) ~src
+          in
+          let label what =
+            Printf.sprintf "%s/%s (%d -> %d): %s" fname sname src dst what
+          in
+          check_int (label "event count") (List.length ev_w) (List.length ev_s);
+          List.iter2
+            (fun a b -> Alcotest.(check string) (label "event") a b)
+            ev_w ev_s;
+          check_bool (label "cost") true (Float.equal cost_w cost_s);
+          check_int (label "hops") hops_w hops_s;
+          check_bool (label "trail") true (trail_w = trail_s))
+        pairs)
+    (core_schemes fx)
+
+(* [next_hop] answers with the served route's first movement. *)
+let test_next_hop_is_first_move fname fx () =
+  let fx = fx () in
+  let n = Metric.n fx.m in
+  let pairs = Workload.sample_pairs ~n ~count:60 ~seed:19 in
+  List.iter
+    (fun (sname, _, eng) ->
+      check_int
+        (Printf.sprintf "%s/%s: next_hop on the diagonal" fname sname)
+        (-1)
+        (Engine.next_hop eng ~src:0 ~dst:0);
+      List.iter
+        (fun (src, dst) ->
+          if src <> dst then begin
+            let h = Engine.next_hop eng ~src ~dst in
+            let w =
+              Walker.create fx.m ~start:src
+                ~max_hops:(50_000 + (200 * Metric.n fx.m))
+            in
+            Engine.walk eng w ~dst;
+            match Walker.trail w with
+            | _ :: first :: _ ->
+              check_int
+                (Printf.sprintf "%s/%s (%d -> %d): first move" fname sname src
+                   dst)
+                first h
+            | _ -> Alcotest.fail "route did not move"
+          end)
+        pairs)
+    (List.map (fun (s, _, e) -> (s, (), e)) (core_schemes fx)
+    @ [ ("full", (), fx.e_full); ("landmark", (), fx.e_lm) ])
+
+(* Batched evaluation is pool-size invariant byte for byte. *)
+let test_batch_pool_invariance () =
+  let fx = fx_geo () in
+  let n = Metric.n fx.m in
+  let pairs = Array.of_list (Workload.sample_pairs ~n ~count:120 ~seed:7) in
+  let p1 = Pool.create ~domains:1 () in
+  let p4 = Pool.create ~domains:4 () in
+  List.iter
+    (fun (sname, _, eng) ->
+      let seq = Array.map (fun (src, dst) -> Engine.route eng ~src ~dst) pairs in
+      let b1 = Engine.batch ~pool:p1 eng pairs in
+      let b4 = Engine.batch ~pool:p4 eng pairs in
+      Array.iteri
+        (fun i o ->
+          check_bool
+            (Printf.sprintf "%s pair %d: domains=1" sname i)
+            true (same_outcome o b1.(i));
+          check_bool
+            (Printf.sprintf "%s pair %d: domains=4" sname i)
+            true (same_outcome o b4.(i)))
+        seq)
+    (all_outcomes fx)
+
+(* compile -> encode -> decode -> compile is the identity: the arena's
+   reconstructed levels re-encode to the original wire bytes. *)
+let test_codec_idempotence () =
+  let fx = fx_geo () in
+  let n = Metric.n fx.m in
+  let nt = Hier_labeled.netting_tree fx.hl in
+  let level_count = Hierarchy.top_level (Netting_tree.hierarchy nt) + 1 in
+  List.iter
+    (fun (rname, rings) ->
+      let levels_of v = Scheme_codec.ring_levels_of rings v in
+      let tables = Tables.compile fx.m ~level_count ~levels_of in
+      for v = 0 to n - 1 do
+        let original = levels_of v in
+        let reconstructed = Tables.levels_of tables v in
+        check_bool
+          (Printf.sprintf "%s node %d: levels reconstruct" rname v)
+          true
+          (reconstructed = original);
+        let wire = Table_codec.encode_rings ~n ~level_count original in
+        let rewire = Table_codec.encode_rings ~n ~level_count reconstructed in
+        check_bool
+          (Printf.sprintf "%s node %d: wire bytes identical" rname v)
+          true
+          (Bytes.equal wire rewire);
+        check_int
+          (Printf.sprintf "%s node %d: bits" rname v)
+          (Table_codec.rings_bits ~n ~level_count original)
+          (Tables.bits tables v)
+      done)
+    [ ("all-levels", Hier_labeled.rings fx.hl); ("selected", Sfl.rings fx.sfl) ]
+
+(* The zero-allocation regression gate: 10k lookups on the flat engines
+   allocate nothing on the minor heap. (The per-route engines probe a
+   driver and are exempt — E20 gates only the flat ones.) *)
+let rec burn eng pairs i acc =
+  if i = Array.length pairs then acc
+  else
+    let src, dst = pairs.(i) in
+    burn eng pairs (i + 1) (acc + Engine.next_hop eng ~src ~dst)
+
+let test_zero_alloc_lookups () =
+  let fx = fx_geo () in
+  let n = Metric.n fx.m in
+  let pairs =
+    Array.init 10_000 (fun i ->
+        let s = i mod n in
+        let d = (i * 7919) mod n in
+        (s, d))
+  in
+  List.iter
+    (fun (sname, eng) ->
+      let warm = burn eng pairs 0 0 in
+      let before = Gc.minor_words () in
+      let again = burn eng pairs 0 0 in
+      let after = Gc.minor_words () in
+      check_int (Printf.sprintf "%s: lookups deterministic" sname) warm again;
+      check_float
+        (Printf.sprintf "%s: minor words allocated over 10k lookups" sname)
+        0.0 (after -. before))
+    [ ("hier", fx.e_hier); ("full", fx.e_full); ("landmark", fx.e_lm) ]
+
+(* Served scheme names match the harness names, so report check rules
+   classify served rows exactly like walked rows. *)
+let test_scheme_names () =
+  let fx = fx_expo () in
+  check_bool "hier" true
+    (String.equal
+       (Engine.scheme_name fx.e_hier)
+       (Hier_labeled.to_scheme fx.hl).Scheme.l_name);
+  check_bool "sfl" true
+    (String.equal
+       (Engine.scheme_name fx.e_sfl)
+       (Sfl.to_scheme fx.sfl).Scheme.l_name);
+  check_bool "simple-ni" true
+    (String.equal
+       (Engine.scheme_name fx.e_sni)
+       (Simple_ni.to_scheme fx.sni).Scheme.ni_name);
+  check_bool "sf-ni" true
+    (String.equal
+       (Engine.scheme_name fx.e_sfni)
+       (Sfni.to_scheme fx.sfni).Scheme.ni_name);
+  check_bool "full" true
+    (String.equal (Engine.scheme_name fx.e_full) (Full_table.labeled fx.m).Scheme.l_name);
+  check_bool "landmark" true
+    (String.equal
+       (Engine.scheme_name fx.e_lm)
+       (Landmark.labeled_of fx.lm).Scheme.l_name)
+
+(* Compiled storage stays positive and within the wire accounting. *)
+let test_compiled_bits_sane () =
+  let fx = fx_grid () in
+  let n = Metric.n fx.m in
+  List.iter
+    (fun (sname, eng) ->
+      for v = 0 to n - 1 do
+        check_bool
+          (Printf.sprintf "%s node %d: compiled bits positive" sname v)
+          true
+          (Engine.compiled_bits eng v > 0)
+      done;
+      check_bool
+        (Printf.sprintf "%s: bytes per node positive" sname)
+        true
+        (Engine.bytes_per_node eng > 0.0))
+    [ ("hier", fx.e_hier); ("sfl", fx.e_sfl); ("simple-ni", fx.e_sni);
+      ("sf-ni", fx.e_sfni); ("full", fx.e_full); ("landmark", fx.e_lm) ]
+
+(* Per-edge Cost accounting parity: serving a route with a Cost ledger
+   charges exactly the edges/phases/rounds a cost-carrying walker does. *)
+let test_cost_parity () =
+  let fx = fx_grid () in
+  let n = Metric.n fx.m in
+  let budget = 50_000 + (200 * n) in
+  List.iter
+    (fun (sname, walkfn, eng) ->
+      List.iter
+        (fun (src, dst) ->
+          let walker_cost = Cr_obs.Cost.create () in
+          let w = Walker.create ~cost:walker_cost fx.m ~start:src ~max_hops:budget in
+          walkfn w dst;
+          let served_cost = Cr_obs.Cost.create () in
+          ignore (Engine.route ~cost:served_cost eng ~src ~dst);
+          Alcotest.(check string)
+            (Printf.sprintf "%s (%d -> %d): cost ledgers identical" sname src
+               dst)
+            (Cr_obs.Cost.render walker_cost)
+            (Cr_obs.Cost.render served_cost))
+        (Workload.sample_pairs ~n ~count:12 ~seed:23))
+    (core_schemes fx)
+
+(* The qcheck face of the differential property: any scheme, any random
+   (src, dst) — served outcome equals walked outcome exactly. *)
+let qcheck_served_equals_walked =
+  let outcomes = memo (fun () -> all_outcomes (fx_geo ())) in
+  qcheck_case ~count:300
+    "qcheck: served = walked for a random scheme and pair"
+    QCheck2.Gen.(triple (int_range 0 5) small_nat small_nat)
+    (fun (si, a, b) ->
+      let fx = fx_geo () in
+      let n = Metric.n fx.m in
+      let src = a mod n and dst = b mod n in
+      let _, walked, eng = List.nth (outcomes ()) si in
+      same_outcome (walked ~src ~dst) (Engine.route eng ~src ~dst))
+
+let suite =
+  List.concat_map
+    (fun (fname, fx) ->
+      [ Alcotest.test_case
+          (Printf.sprintf "%s: served = walked (all pairs, all schemes)" fname)
+          `Quick
+          (test_outcomes_all_pairs fname fx);
+        Alcotest.test_case
+          (Printf.sprintf "%s: traces byte-identical" fname)
+          `Quick
+          (test_traces_identical fname fx);
+        Alcotest.test_case
+          (Printf.sprintf "%s: next_hop = first move" fname)
+          `Quick
+          (test_next_hop_is_first_move fname fx) ])
+    fixtures
+  @ [ Alcotest.test_case "batch is pool-size invariant" `Quick
+        test_batch_pool_invariance;
+      Alcotest.test_case "compile/encode/decode/compile idempotent" `Quick
+        test_codec_idempotence;
+      Alcotest.test_case "flat lookups allocate zero minor words" `Quick
+        test_zero_alloc_lookups;
+      Alcotest.test_case "served scheme names match harness names" `Quick
+        test_scheme_names;
+      Alcotest.test_case "Cost ledgers identical walker vs served" `Quick
+        test_cost_parity;
+      qcheck_served_equals_walked;
+      Alcotest.test_case "compiled bits sane" `Quick test_compiled_bits_sane ]

@@ -16,7 +16,8 @@ module A = Ast_util
 
 let id = "determinism"
 
-let pooled_dirs = [ "lib/core"; "lib/metric"; "lib/sim"; "lib/proto"; "lib/fault" ]
+let pooled_dirs =
+  [ "lib/core"; "lib/metric"; "lib/sim"; "lib/proto"; "lib/fault"; "lib/serve" ]
 
 let pooled rel = Rule.under pooled_dirs rel
 

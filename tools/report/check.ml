@@ -89,7 +89,36 @@ let check_row ~epsilon row =
              else Printf.sprintf "fallback exercised %d times" (int_of_float f)) } ]
     | None -> []
   in
-  let extra_findings = cost_findings @ fallback_findings in
+  (* E20 serving gates: a row carrying serve.* metrics came from the
+     compiled-table engine, and the equivalence contract is exact — the
+     served workload's outcomes matched the walker's bit for bit
+     (stretch_identical 1.0, nothing less), and the flat lookup path
+     allocated zero minor words. *)
+  let serve_findings =
+    let identical =
+      match metric "serve.stretch_identical" with
+      | None -> []
+      | Some v ->
+        [ { ok = Float.equal v 1.0;
+            path = key "serve-identical";
+            message =
+              (if Float.equal v 1.0 then "served routes = walker routes"
+               else "SERVED ROUTES DIVERGE from walker routes") } ]
+    in
+    let alloc =
+      match metric "serve.alloc_words" with
+      | None -> []
+      | Some w ->
+        [ { ok = Float.equal w 0.0;
+            path = key "serve-alloc";
+            message =
+              (if Float.equal w 0.0 then "lookup path allocation-free"
+               else
+                 Printf.sprintf "LOOKUP PATH ALLOCATES: %.0f minor words" w) } ]
+    in
+    identical @ alloc
+  in
+  let extra_findings = cost_findings @ fallback_findings @ serve_findings in
   match classify (str "scheme") with
   | None -> extra_findings
   | Some (cls, carries_delta) -> (
@@ -122,6 +151,20 @@ let check_row ~epsilon row =
               " (128 log^3 n)"
             :: []
       in
+      (* Compiled serving state obeys the same polylog storage budget as
+         the scheme's own tables (the ring arenas are wire-exact, so this
+         is the codec accounting under the paper's bound). *)
+      let serve_bits_findings =
+        match metric "serve.compiled_bits.max" with
+        | None -> []
+        | Some bits ->
+          if carries_delta then
+            [ bound "serve-bits" bits
+                (512.0 *. ln *. (ln +. Float.max 1.0 (log2 delta)))
+                " (512 log n (log n + log Delta))" ]
+          else
+            [ bound "serve-bits" bits (128.0 *. (ln ** 3.0)) " (128 log^3 n)" ]
+      in
       let label_findings =
         match (cls, metric "label_bits") with
         | Labeled, Some lbits ->
@@ -137,7 +180,8 @@ let check_row ~epsilon row =
                   (int_of_float expected) } ]
         | _ -> []
       in
-      stretch_findings @ table_findings @ label_findings @ extra_findings
+      stretch_findings @ table_findings @ serve_bits_findings @ label_findings
+      @ extra_findings
     | _ ->
       { ok = true;
         path = key "skip";

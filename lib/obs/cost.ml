@@ -69,8 +69,8 @@ let phase_cell t phase =
     Hashtbl.add t.by_phase phase pc;
     pc
 
-let record t ~phase ~src ~dst ~round ~bits =
-  if t.on then begin
+let record_enabled t ~phase ~src ~dst ~round ~bits =
+  begin
     let pc = phase_cell t phase in
     pc.p_messages <- pc.p_messages + 1;
     pc.p_bits <- pc.p_bits + bits;
@@ -93,6 +93,15 @@ let record t ~phase ~src ~dst ~round ~bits =
       cell.c_bits <- cell.c_bits + bits
     end
   end
+
+(* The null accumulator sits on every message-delivery hot path, so the
+   disabled branch must cost one load and one test — the zero-alloc
+   proof pins that down; all bookkeeping lives behind the guard. *)
+let[@cr.zero_alloc] record t ~phase ~src ~dst ~round ~bits =
+  if t.on then
+    (record_enabled t ~phase ~src ~dst ~round ~bits
+    [@cr.alloc_ok "enabled-path accounting allocates ledger cells by \
+                   design; the hot default is a disabled accumulator"])
 
 let reset t =
   Hashtbl.reset t.edges;

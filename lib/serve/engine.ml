@@ -469,7 +469,11 @@ let first_move t ~src ~dst =
     assert false
   | exception First_move v -> v
 
-let next_hop t ~src ~dst =
+(* Flat engines answer from compiled arrays without allocating; the
+   lint's zero-alloc proof walks the whole Tables/lm_find call graph to
+   keep it that way. Name-walking engines must replay the route, which
+   builds an executor per call — the exempted probe path below. *)
+let[@cr.zero_alloc] next_hop t ~src ~dst =
   if src = dst then -1
   else
     match t.data with
@@ -480,7 +484,10 @@ let next_hop t ~src ~dst =
         lm_find l dst l.m_bunch_off.(src) (l.m_bunch_off.(src + 1) - 1)
       in
       if e >= 0 then l.m_bunch_hop.(e) else l.m_home_hop.(src)
-    | Sfl _ | Simple _ | Sfni _ -> first_move t ~src ~dst
+    | Sfl _ | Simple _ | Sfni _ ->
+      (first_move t ~src ~dst
+      [@cr.alloc_ok "name-walking engines replay the route via a probe \
+                     executor; only flat tables serve without allocating"])
 
 let batch ?obs ?(pool = Pool.default ()) t pairs =
   let ctx = Trace.resolve obs in

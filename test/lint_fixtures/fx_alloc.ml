@@ -1,0 +1,18 @@
+(* Known-bad/known-good snippets for the zero-alloc rule (see
+   test_lint.ml). Compiled with -bin-annot like the rest of the tree so
+   the typed tier walks real trees, not strings. *)
+
+let build_pair a b = (a, b)
+
+(* violation: the allocation hides in the callee; the diagnostic must
+   carry the chain "fetch -> build_pair" *)
+let[@cr.zero_alloc] fetch a i = fst (build_pair a.(i) i)
+
+let sum3 (a : int array) i = a.(i) + a.(i + 1) + a.(i + 2)
+
+(* clean: int-array reads and arithmetic through a callee *)
+let[@cr.zero_alloc] probe a i = sum3 a i
+
+(* stale exemption: nothing under the annotation allocates *)
+let[@cr.zero_alloc] pick (a : int array) i =
+  (a.(i) [@cr.alloc_ok "fixture: nothing allocates here"])

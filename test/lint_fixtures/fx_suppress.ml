@@ -1,0 +1,14 @@
+(* The suppression protocol on the typed tier (see test_lint.ml): a
+   suppression with a reason silences the finding on the next line; an
+   unused suppression is reported — by the tier that owns the rule. *)
+
+let bump (out : int array) i = out.(i) <- out.(i) + 1
+
+let fan_bump pool n (out : int array) =
+  Cr_par.Pool.parallel_init pool n (fun i ->
+      (* cr_lint: allow domain-escape -- fixture: chunk writes are disjoint *)
+      bump out i;
+      i)
+
+(* cr_lint: allow zero-alloc -- fixture: stale on purpose *)
+let plain x = x + 1

@@ -1,10 +1,18 @@
 (* The cr_lint static-analysis suite: one known-bad fixture per rule (each
    fires exactly once), guarded/local/out-of-scope negatives, the
    suppression protocol, a golden rendering test, and the clean-tree
-   assertion over the real sources. *)
+   assertion over the real sources.
+
+   The typed (.cmt) tier is exercised against test/lint_fixtures — a
+   real compiled library, so the interprocedural rules walk genuine
+   typed trees: known-bad cases per rule, a call-chain golden, the
+   stale-exemption check, the suppression protocol, and proof that the
+   old syntactic pool-purity pass misses what domain-escape catches. *)
 
 module Engine = Cr_lint_lib.Engine
 module Rule = Cr_lint_lib.Rule
+module Typed_engine = Cr_lint_lib.Typed_engine
+module Typed_rule = Cr_lint_lib.Typed_rule
 
 (* The filesystem-independent rules: everything except mli-coverage, so
    string fixtures need no sibling files on disk. *)
@@ -265,6 +273,135 @@ let clean_tree () =
     in
     Alcotest.(check string) "zero findings at HEAD" "" rendered
 
+(* ---- typed tier (.cmt rules over test/lint_fixtures) ---- *)
+
+let contains s frag =
+  let n = String.length s and m = String.length frag in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) frag || go (i + 1)) in
+  m = 0 || go 0
+
+let fixture_dir = "test/lint_fixtures"
+
+(* The typed tier needs the *build context* root — the directory holding
+   the .objs trees — which, unlike the source root, has no dune-project
+   marker. The fixture library's own .objs directory is the marker: it
+   exists whenever this binary runs, because the library is one of its
+   link dependencies. *)
+let find_build_root () =
+  let marker = fixture_dir ^ "/.cr_lint_fixtures.objs" in
+  let rec up dir n =
+    if n = 0 then None
+    else if Sys.file_exists (Filename.concat dir marker) then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if String.equal parent dir then None else up parent (n - 1)
+  in
+  up (Sys.getcwd ()) 8
+
+let typed_fixture_report name ids =
+  match find_build_root () with
+  | None -> Alcotest.fail (name ^ ": build context root not found")
+  | Some root ->
+    let rules =
+      List.filter
+        (fun r -> List.mem r.Typed_rule.id ids)
+        Typed_engine.all_rules
+    in
+    Typed_engine.run ~rules ~root [ fixture_dir ]
+
+let typed_msgs rule (r : Typed_engine.report) =
+  List.filter_map
+    (fun d ->
+      if String.equal d.Rule.rule rule then Some d.Rule.message else None)
+    r.Typed_engine.diagnostics
+
+let zero_alloc_fixtures () =
+  let r = typed_fixture_report "zero-alloc" [ "zero-alloc" ] in
+  let msgs = typed_msgs "zero-alloc" r in
+  Helpers.check_int "zero-alloc: violation plus stale exemption" 2
+    (List.length msgs);
+  Helpers.check_int "zero-alloc: exactly one error" 1
+    (Engine.error_count r.Typed_engine.diagnostics);
+  Helpers.check_bool "call-chain golden" true
+    (List.mem
+       "tuple construction on [@cr.zero_alloc] path from \
+        Cr_lint_fixtures__Fx_alloc.fetch (call chain: fetch -> build_pair)"
+       msgs);
+  Helpers.check_bool "stale [@cr.alloc_ok] reported" true
+    (List.mem
+       "[@cr.alloc_ok] guards no allocation; delete the stale annotation"
+       msgs);
+  (* the zero-alloc suppression in fx_suppress guards nothing and this
+     run owns the rule, so it must be flagged *)
+  Helpers.check_int "unused typed suppression reported" 1
+    (count "unused-suppression" r.Typed_engine.diagnostics)
+
+let domain_escape_fixtures () =
+  let r = typed_fixture_report "domain-escape" [ "domain-escape" ] in
+  let msgs = typed_msgs "domain-escape" r in
+  Helpers.check_int "domain-escape: callee escape + alias write" 2
+    (List.length msgs);
+  Helpers.check_int "domain-escape: both are errors" 2
+    (Engine.error_count r.Typed_engine.diagnostics);
+  let has frag = List.exists (fun m -> contains m frag) msgs in
+  Helpers.check_bool "escape-to-callee finding names the callee" true
+    (has "escape to `Cr_lint_fixtures__Fx_escape.fill`");
+  Helpers.check_bool "alias write resolves to the captured root" true
+    (has "mutates captured `out` (array write)");
+  (* the suppressed fan_bump escape must not appear, and its suppression
+     is used, so nothing stale is reported either *)
+  Helpers.check_int "suppressed finding silenced, suppression not stale" 0
+    (count "unused-suppression" r.Typed_engine.diagnostics)
+
+let wire_exhaustive_fixtures () =
+  let r = typed_fixture_report "wire-exhaustive" [ "wire-exhaustive" ] in
+  let msgs = typed_msgs "wire-exhaustive" r in
+  Helpers.check_int "wire-exhaustive: missing ctor + catch-all" 2
+    (List.length msgs);
+  let has frag = List.exists (fun m -> contains m frag) msgs in
+  Helpers.check_bool "missing constructor named" true
+    (has "constructor `Gone` of message type `Cr_lint_fixtures__Fx_wire.msg`");
+  Helpers.check_bool "catch-all flagged" true (has "catch-all pattern")
+
+(* The interprocedural gap the typed tier exists to close: the syntactic
+   pool-purity rule sees nothing wrong with fx_escape.ml (the mutations
+   hide behind a callee and an alias), while domain-escape reports both. *)
+let old_pool_purity_misses () =
+  match find_source_root () with
+  | None -> ()
+  | Some root ->
+    let path = Filename.concat root (fixture_dir ^ "/fx_escape.ml") in
+    if Sys.file_exists path then begin
+      let src = In_channel.with_open_text path In_channel.input_all in
+      let pool_purity =
+        List.filter
+          (fun r -> String.equal r.Rule.id "pool-purity")
+          Engine.all_rules
+      in
+      let diags =
+        Engine.check_source ~rules:pool_purity ~rel:"lib/sim/fx_escape.ml" src
+      in
+      Helpers.check_int "syntactic pool-purity reports nothing here" 0
+        (List.length diags)
+    end
+
+let typed_clean_tree () =
+  match find_build_root () with
+  | None -> ()
+  | Some root ->
+    let paths =
+      List.filter
+        (fun p -> Sys.file_exists (Filename.concat root p))
+        [ "lib"; "bin"; "bench" ]
+    in
+    let report = Typed_engine.run ~root paths in
+    Helpers.check_bool "typed tier loaded a substantial tree" true
+      (report.Typed_engine.units > 30);
+    let rendered =
+      Format.asprintf "%a" Engine.render_human report.Typed_engine.diagnostics
+    in
+    Alcotest.(check string) "typed tier: zero findings at HEAD" "" rendered
+
 let case name f = Alcotest.test_case name `Quick f
 
 let suite =
@@ -332,4 +469,13 @@ let suite =
     case "suppression: unknown rule id is an error" suppression_unknown_rule;
     case "golden: human rendering is byte-stable" golden_output;
     case "parse errors become diagnostics" parse_error_is_reported;
-    case "clean tree: zero findings at HEAD" clean_tree ]
+    case "clean tree: zero findings at HEAD" clean_tree;
+    case "typed: zero-alloc chain, stale exemption, unused suppression"
+      zero_alloc_fixtures;
+    case "typed: domain-escape catches callee and alias mutations"
+      domain_escape_fixtures;
+    case "typed: wire-exhaustive flags missing ctor and catch-all"
+      wire_exhaustive_fixtures;
+    case "typed: syntactic pool-purity misses the escape fixtures"
+      old_pool_purity_misses;
+    case "typed: clean tree: zero findings at HEAD" typed_clean_tree ]

@@ -1,0 +1,75 @@
+(* Discovery and loading of the typed trees the second lint tier runs on.
+
+   Dune emits a .cmt per compiled module under
+   [<dir>/.<lib>.objs/byte/<mangled>.cmt]; this module walks the build
+   tree under the given workspace-relative paths (inside _build when
+   cr_lint runs from a dune action, which is why the @lint alias depends
+   on @check — the trees are never stale), unmarshals each
+   implementation cmt, and pairs it with its workspace-relative source
+   path so diagnostics and suppressions attach to real files. *)
+
+type unit_info = {
+  modname : string;  (* mangled unit name, e.g. "Cr_serve__Engine" *)
+  source : string;  (* workspace-relative, e.g. "lib/serve/engine.ml" *)
+  structure : Typedtree.structure;
+}
+
+let is_objs_dir name =
+  String.length name > 0
+  && name.[0] = '.'
+  && Filename.check_suffix name ".objs"
+
+(* Collect .cmt files: ordinary directory recursion, plus a descent into
+   .<lib>.objs/byte (hidden directories are otherwise skipped, matching
+   the source scanner in Engine). *)
+let rec collect_cmts root rel acc =
+  let abs = Filename.concat root rel in
+  if (not (Sys.file_exists abs)) || not (Sys.is_directory abs) then acc
+  else
+    Sys.readdir abs |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           let sub = rel ^ "/" ^ name in
+           if is_objs_dir name then
+             let byte = sub ^ "/byte" in
+             let byte_abs = Filename.concat root byte in
+             if Sys.file_exists byte_abs && Sys.is_directory byte_abs then
+               Sys.readdir byte_abs |> Array.to_list
+               |> List.sort String.compare
+               |> List.fold_left
+                    (fun acc f ->
+                      if Filename.check_suffix f ".cmt" then
+                        (byte ^ "/" ^ f) :: acc
+                      else acc)
+                    acc
+             else acc
+           else if String.length name > 0 && (name.[0] = '.' || name.[0] = '_')
+           then acc
+           else collect_cmts root sub acc)
+         acc
+
+(* The generated library wrapper ("cr_serve.ml-gen") has no on-disk
+   source; it carries only module aliases, so it is dropped. *)
+let load_one root rel_cmt =
+  match Cmt_format.read_cmt (Filename.concat root rel_cmt) with
+  | exception _ -> None
+  | infos -> (
+    match infos.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation structure -> (
+      match infos.Cmt_format.cmt_sourcefile with
+      | Some src
+        when Filename.check_suffix src ".ml"
+             && Sys.file_exists (Filename.concat root src) ->
+        Some
+          { modname = infos.Cmt_format.cmt_modname; source = src; structure }
+      | _ -> None)
+    | _ -> None)
+
+let load ~root paths =
+  let cmts =
+    List.concat_map (fun p -> List.rev (collect_cmts root p [])) paths
+    |> List.sort_uniq String.compare
+  in
+  List.filter_map (load_one root) cmts
+  |> List.sort (fun a b -> String.compare a.modname b.modname)

@@ -1,0 +1,15 @@
+(** Discovery and loading of the typed trees the second lint tier runs
+    on: walks [.<lib>.objs/byte] directories under the given
+    workspace-relative paths for implementation [.cmt]s whose source
+    file still exists. *)
+
+type unit_info = {
+  modname : string;  (** mangled unit name, e.g. "Cr_serve__Engine" *)
+  source : string;  (** workspace-relative, e.g. "lib/serve/engine.ml" *)
+  structure : Typedtree.structure;
+}
+
+val load : root:string -> string list -> unit_info list
+(** [load ~root paths] is every loadable implementation unit under the
+    given directories, sorted by [modname] (deterministic). Wrapper
+    modules without on-disk sources are dropped. *)

@@ -1,0 +1,7 @@
+(** domain-escape: the interprocedural upgrade of pool-purity — tasks
+    handed to [Cr_par.Pool] must not mutate captured non-Atomic state,
+    including through local aliases and callees (tracked by per-function
+    parameter-mutation summaries). See the implementation header for the
+    full design. *)
+
+val rule : Typed_rule.t

@@ -24,8 +24,16 @@ let parse_error_diag ~rel exn =
 (* Suppressions cover their own line and the next one; each must name a
    known rule, carry a reason (checked by Source.scan), and actually
    suppress something — a stale suppression is reported so the allowlist
-   cannot rot silently. *)
-let apply_suppressions ~rel ~known_rules suppressions malformed diags =
+   cannot rot silently.
+
+   With two lint tiers sharing one suppression syntax, staleness is
+   adjudicated per tier: a tier only reports an unused suppression for
+   rules in [own_rules] (it cannot know whether the other tier's
+   suppressions fire), while unknown-rule and malformed-comment errors
+   are emitted once, by the tier running with [report_malformed] (the
+   syntactic one, which always runs). *)
+let apply_suppressions ~rel ~own_rules ~known_rules ~report_malformed
+    suppressions malformed diags =
   let used = Array.make (List.length suppressions) false in
   let suppressed d =
     List.exists
@@ -40,21 +48,25 @@ let apply_suppressions ~rel ~known_rules suppressions malformed diags =
   in
   let kept = List.filter (fun d -> not (suppressed d)) diags in
   let syntax_diags =
-    List.map
-      (fun (line, msg) ->
-        Rule.diag_at ~rule:"suppression-syntax" ~file:rel ~line msg)
-      malformed
+    if not report_malformed then []
+    else
+      List.map
+        (fun (line, msg) ->
+          Rule.diag_at ~rule:"suppression-syntax" ~file:rel ~line msg)
+        malformed
   in
   let stale_diags =
     List.concat
       (List.mapi
          (fun i s ->
            if not (List.mem s.Source.rule known_rules) then
-             [ Rule.diag_at ~rule:"suppression-syntax" ~file:rel
-                 ~line:s.Source.line
-                 (Printf.sprintf "suppression names unknown rule `%s`"
-                    s.Source.rule) ]
-           else if not used.(i) then
+             if report_malformed then
+               [ Rule.diag_at ~rule:"suppression-syntax" ~file:rel
+                   ~line:s.Source.line
+                   (Printf.sprintf "suppression names unknown rule `%s`"
+                      s.Source.rule) ]
+             else []
+           else if List.mem s.Source.rule own_rules && not used.(i) then
              [ Rule.diag_at ~rule:"unused-suppression"
                  ~severity:Rule.Warning ~file:rel ~line:s.Source.line
                  (Printf.sprintf
@@ -65,10 +77,12 @@ let apply_suppressions ~rel ~known_rules suppressions malformed diags =
   in
   kept @ syntax_diags @ stale_diags
 
-let check_source ?(rules = all_rules) ~rel ?abs source =
+let check_source ?(rules = all_rules) ?(extra_known_rules = []) ~rel ?abs
+    source =
   let abs = Option.value abs ~default:rel in
   let suppressions, malformed = Source.scan source in
-  let known_rules = List.map (fun r -> r.Rule.id) rules in
+  let own_rules = List.map (fun r -> r.Rule.id) rules in
+  let known_rules = own_rules @ extra_known_rules in
   let diags =
     match parse_source ~filename:rel source with
     | structure ->
@@ -79,7 +93,8 @@ let check_source ?(rules = all_rules) ~rel ?abs source =
     | exception exn -> [ parse_error_diag ~rel exn ]
   in
   List.sort Rule.compare_diag
-    (apply_suppressions ~rel ~known_rules suppressions malformed diags)
+    (apply_suppressions ~rel ~own_rules ~known_rules ~report_malformed:true
+       suppressions malformed diags)
 
 type report = {
   diagnostics : Rule.diagnostic list;
@@ -100,7 +115,7 @@ let rec collect_ml_files root rel acc =
   else if Filename.check_suffix rel ".ml" then rel :: acc
   else acc
 
-let run ?(rules = all_rules) ~root paths =
+let run ?(rules = all_rules) ?(extra_known_rules = []) ~root paths =
   let files =
     List.concat_map (fun p -> List.rev (collect_ml_files root p [])) paths
     |> List.sort_uniq String.compare
@@ -109,7 +124,8 @@ let run ?(rules = all_rules) ~root paths =
     List.concat_map
       (fun rel ->
         let abs = Filename.concat root rel in
-        check_source ~rules ~rel ~abs (Source.read_file abs))
+        check_source ~rules ~extra_known_rules ~rel ~abs
+          (Source.read_file abs))
       files
   in
   { diagnostics = List.sort Rule.compare_diag diagnostics;

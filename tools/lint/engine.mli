@@ -5,15 +5,34 @@
     same tree always prints byte-identical output — the property the
     golden test in test/test_lint.ml relies on. *)
 
-(** The five shipped rules, in display order. *)
+(** The syntactic-tier rules, in display order. *)
 val all_rules : Rule.t list
+
+(** Shared suppression adjudication (both tiers use this). [own_rules]
+    are the rule ids this tier runs — the only ones it reports unused
+    suppressions for; [known_rules] is the union of all tiers' ids, so a
+    suppression of the other tier's rule is not "unknown". Malformed
+    comments and unknown-rule errors are only emitted under
+    [report_malformed] (the syntactic tier, which always runs). *)
+val apply_suppressions :
+  rel:string ->
+  own_rules:string list ->
+  known_rules:string list ->
+  report_malformed:bool ->
+  Source.suppression list ->
+  (int * string) list ->
+  Rule.diagnostic list ->
+  Rule.diagnostic list
 
 (** Parse [source] as the contents of [rel] and run every applicable rule
     plus suppression handling. [abs] (default [rel]) is the on-disk path
     used by file-system rules; tests pass a temp path or rely on
-    [?rules] to exclude them. *)
+    [?rules] to exclude them. [extra_known_rules] names rules owned by
+    another tier (suppressions of them are neither unknown nor judged
+    stale here). *)
 val check_source :
   ?rules:Rule.t list ->
+  ?extra_known_rules:string list ->
   rel:string ->
   ?abs:string ->
   string ->
@@ -26,7 +45,12 @@ type report = {
 
 (** [run ~root paths] scans every [.ml] under each of [paths] (files or
     directories, workspace-relative to [root]), in sorted order. *)
-val run : ?rules:Rule.t list -> root:string -> string list -> report
+val run :
+  ?rules:Rule.t list ->
+  ?extra_known_rules:string list ->
+  root:string ->
+  string list ->
+  report
 
 (** Number of [Error]-severity diagnostics (the exit-code currency). *)
 val error_count : Rule.diagnostic list -> int

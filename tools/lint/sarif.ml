@@ -1,0 +1,62 @@
+(* Minimal SARIF 2.1.0 emitter: one run, one driver, one result per
+   diagnostic. This is the machine-readable artifact CI uploads so lint
+   findings survive the build log (and code-scanning UIs can ingest
+   them). Output is deterministic: results arrive already sorted by the
+   engine, and rule metadata follows the given registry order. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let level = function Rule.Error -> "error" | Rule.Warning -> "warning"
+
+(* [render ~rules diags] is the complete SARIF document. [rules] is the
+   full registry (both tiers), listed under the driver even when a rule
+   produced no result. *)
+let render ~rules diags =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\"$schema\":";
+  add "\"https://json.schemastore.org/sarif-2.1.0.json\",";
+  add "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{";
+  add "\"name\":\"cr_lint\",\"rules\":[";
+  List.iteri
+    (fun i (rid, doc) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}}"
+           (escape rid) (escape doc)))
+    rules;
+  add "]}},\"results\":[";
+  List.iteri
+    (fun i (d : Rule.diagnostic) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"ruleId\":\"%s\",\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\
+            \"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+            {\"uri\":\"%s\"},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+           (escape d.rule) (level d.severity) (escape d.message)
+           (escape d.file) d.line (d.col + 1)))
+    diags;
+  add "]}]}";
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write ~path ~rules diags =
+  let oc = open_out path in
+  output_string oc (render ~rules diags);
+  close_out oc

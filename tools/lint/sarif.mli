@@ -1,0 +1,10 @@
+(** Minimal SARIF 2.1.0 emitter: one run, one driver, one result per
+    diagnostic. Deterministic output — results keep the engine's sort,
+    rule metadata follows the given registry order. *)
+
+val render : rules:(string * string) list -> Rule.diagnostic list -> string
+(** [render ~rules diags] is the complete SARIF document; [rules] is the
+    full (id, doc) registry, listed even when a rule produced nothing. *)
+
+val write :
+  path:string -> rules:(string * string) list -> Rule.diagnostic list -> unit

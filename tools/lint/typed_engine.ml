@@ -1,0 +1,45 @@
+(* Driver for the typed (.cmt) lint tier: load the typed trees under the
+   scanned paths, build the call graph, run the interprocedural rules,
+   then apply the same inline-suppression protocol as the syntactic
+   tier — scoped to the rules this tier owns, so the two tiers never
+   fight over whose suppressions are stale (Engine reports malformed
+   comments and unknown rule names; each tier reports unused
+   suppressions of its own rules only). *)
+
+let all_rules = [ Zero_alloc.rule; Domain_escape.rule; Wire_exhaustive.rule ]
+let rule_ids = List.map (fun r -> r.Typed_rule.id) all_rules
+
+type report = {
+  diagnostics : Rule.diagnostic list;  (* sorted, suppressions applied *)
+  units : int;  (* typed compilation units analyzed *)
+}
+
+let run ?(rules = all_rules) ?(known_rules = rule_ids) ~root paths =
+  let units = Cmt_index.load ~root paths in
+  let graph = Callgraph.build units in
+  let input = { Typed_rule.units; graph } in
+  let raw = List.concat_map (fun r -> r.Typed_rule.check input) rules in
+  let own_rules = List.map (fun r -> r.Typed_rule.id) rules in
+  (* Suppressions are applied per source file — including files with no
+     diagnostics, where a typed-rule suppression is by definition
+     unused and must be reported before it rots. *)
+  let sources =
+    List.map (fun (u : Cmt_index.unit_info) -> u.Cmt_index.source) units
+    |> List.sort_uniq String.compare
+  in
+  let diagnostics =
+    List.concat_map
+      (fun src ->
+        let file_diags =
+          List.filter (fun d -> String.equal d.Rule.file src) raw
+        in
+        match Source.read_file (Filename.concat root src) with
+        | exception Sys_error _ -> file_diags
+        | text ->
+          let suppressions, _malformed = Source.scan text in
+          Engine.apply_suppressions ~rel:src ~own_rules ~known_rules
+            ~report_malformed:false suppressions [] file_diags)
+      sources
+  in
+  { diagnostics = List.sort Rule.compare_diag diagnostics;
+    units = List.length units }

@@ -1,0 +1,25 @@
+(** The typed lint tier's rule framework: rules run over the whole
+    loaded program (all units + call graph) at once, unlike the
+    syntactic tier's per-file rules, because the properties they check
+    — allocation freedom, mutable-state escape, wire coverage — are
+    whole-program. *)
+
+type input = {
+  units : Cmt_index.unit_info list;
+  graph : Callgraph.t;
+}
+
+type t = {
+  id : string;  (** stable kebab-case id used in suppressions *)
+  doc : string;  (** one-line description for [--list-rules] *)
+  check : input -> Rule.diagnostic list;
+}
+
+val diag :
+  rule:string ->
+  ?severity:Rule.severity ->
+  Cmt_index.unit_info ->
+  loc:Location.t ->
+  string ->
+  Rule.diagnostic
+(** Diagnostic at a [Location.t] inside the unit's source file. *)

@@ -1,0 +1,7 @@
+(** zero-alloc: functions marked [[@cr.zero_alloc]] must be
+    allocation-free through their whole call graph; violations carry the
+    call chain that reaches them. [[@cr.alloc_ok "reason"]] exempts a
+    subtree and is itself checked for staleness. See the implementation
+    header for the full design. *)
+
+val rule : Typed_rule.t

@@ -36,6 +36,8 @@ let experiments =
     ("e19", "CONGEST cost: rounds / messages / bits / congestion",
      Exp_cost.run);
     ("e20", "route serving: compiled tables, served = walked", Exp_serve.run);
+    ("e21", "brownout: Zipf traffic under failures, live telemetry",
+     Exp_brownout.run);
     ("bechamel", "timing micro-benchmarks", Exp_bechamel.run) ]
 
 (* `parallel-scaling` is the documented name of E17; the alias resolves on
@@ -77,7 +79,7 @@ let write_manifest dir keys =
        ~host:(Unix.gethostname ())
        ~seeds:
          [ ("naming", 42); ("pairs", 17); ("holey", 7); ("geo", 11);
-           ("landmark", 3) ]
+           ("landmark", 3); ("zipf", 47) ]
        ~experiments:keys)
 
 let () =

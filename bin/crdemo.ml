@@ -748,11 +748,140 @@ let cost_cmd =
       const cost $ family_arg $ construction_arg $ radius_arg $ top_arg
       $ chrome_arg)
 
+(* live: the E21 console view — Zipf traffic through the Thm 1.4 failover
+   scheme with streaming telemetry windows. *)
+
+module Live = Cr_obs.Live
+
+let live family epsilon seed alpha windows window_size top pairs_budget
+    edge_rate node_fraction chrome =
+  let metric, nt = load family in
+  let g = Metric.graph metric in
+  let n = Metric.n metric in
+  let naming = Workload.random_naming ~n ~seed in
+  let pairs =
+    Workload.zipf_pairs ~n ~alpha ~count:pairs_budget ~seed:(seed + 1)
+  in
+  let hl = Cr_core.Hier_labeled.build nt ~epsilon in
+  let ni =
+    Cr_core.Simple_ni.build nt ~epsilon ~naming
+      ~underlying:(Cr_core.Hier_labeled.to_underlying hl)
+  in
+  let edges = Cr_fault.Plan.sample_edge_failures ~seed:23 ~rate:edge_rate g in
+  let nodes =
+    Cr_fault.Plan.sample_node_failures ~seed:29 ~fraction:node_fraction n
+  in
+  let failures = Cr_sim.Failures.create ~edges ~nodes () in
+  let acc = Live.create ~window:window_size ~depth:windows ~k:top () in
+  let budget = 50_000 + (200 * n) in
+  List.iter
+    (fun (src, dst) ->
+      if Live.enabled acc then begin
+        Live.tick acc;
+        let dist = Metric.dist metric src dst in
+        if Cr_sim.Failures.node_failed failures src then
+          Live.record acc ~src ~dst ~status:Live.Undeliverable ~dist
+            ~cost:0.0 ~hops:0
+        else begin
+          let w =
+            Cr_sim.Walker.create ~failures ~live:acc metric ~start:src
+              ~max_hops:budget
+          in
+          let status, _reroutes =
+            Cr_core.Simple_ni.walk_degraded ni w
+              ~dest_name:naming.Workload.name_of.(dst)
+          in
+          let st =
+            match status with
+            | Scheme.Delivered -> Live.Delivered
+            | Scheme.Rerouted -> Live.Rerouted
+            | Scheme.Undeliverable -> Live.Undeliverable
+          in
+          Live.record acc ~src ~dst ~status:st ~dist
+            ~cost:(Cr_sim.Walker.cost w) ~hops:(Cr_sim.Walker.hops w)
+        end
+      end)
+    pairs;
+  Printf.printf
+    "Zipf(%g) x %d pairs on %s (Thm 1.4 failover; %d edges, %d nodes failed)\n\n"
+    alpha (List.length pairs) family
+    (Cr_sim.Failures.edge_count failures)
+    (Cr_sim.Failures.node_count failures);
+  print_string (Live.render acc);
+  (match chrome with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Cr_obs.Chrome.live_timeline acc);
+    close_out oc;
+    Printf.printf "\nwrote live timeline to %s (chrome://tracing)\n" path
+  | None -> ());
+  0
+
+let live_cmd =
+  let alpha_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "alpha"; "a" ] ~docv:"A"
+          ~doc:"Zipf skew exponent (0 = uniform).")
+  in
+  let windows_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "windows" ] ~docv:"D" ~doc:"Sliding windows retained.")
+  in
+  let window_size_arg =
+    Arg.(
+      value & opt int 250
+      & info [ "window-size" ] ~docv:"W"
+          ~doc:"Routes per window (the logical-clock bucket width).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Heavy hitters tracked per window and for the run.")
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "pairs" ] ~docv:"N" ~doc:"Routes to drive.")
+  in
+  let edge_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "edge-rate" ] ~docv:"P"
+          ~doc:"Fraction of edges failed (E18 seed).")
+  in
+  let node_fraction_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "node-fraction" ] ~docv:"P"
+          ~doc:"Fraction of nodes failed (E18 seed).")
+  in
+  let chrome_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chrome" ] ~docv:"PATH"
+          ~doc:
+            "Also write the per-window telemetry timeline as trace_event \
+             JSON counters for chrome://tracing.")
+  in
+  Cmd.v
+    (Cmd.info "live"
+       ~doc:
+         "Stream a Zipf workload through the Thm 1.4 scheme under static \
+          failures and print the sliding-window live telemetry (delivery \
+          rate, stretch quantiles, edge utilization, heavy hitters)")
+    Term.(
+      const live $ family_arg $ epsilon_arg $ seed_arg $ alpha_arg
+      $ windows_arg $ window_size_arg $ top_arg $ pairs_arg $ edge_rate_arg
+      $ node_fraction_arg $ chrome_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "crdemo" ~version:"1.0"
        ~doc:"Compact routing schemes in low-doubling networks")
     [ inspect_cmd; route_cmd; stats_cmd; serve_cmd; trace_cmd; metrics_cmd;
-      verify_cmd; faults_cmd; cost_cmd ]
+      verify_cmd; faults_cmd; cost_cmd; live_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

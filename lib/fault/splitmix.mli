@@ -1,14 +1,10 @@
 (** Keyed splitmix64 — the deterministic randomness source of the fault
-    subsystem.
+    subsystem. Re-exports {!Cr_graphgen.Splitmix}, which owns the
+    implementation (it sits below the sim layer, so workload generation
+    can share the primitive); see that interface for the keying
+    discipline and determinism contract. *)
 
-    Unlike a sequential PRNG, a [key] is a pure value: absorbing the same
-    ints always yields the same key, and every draw is a function of the
-    key alone. A fault plan keys each decision by (seed, src, dst,
-    message-index), which makes outcomes independent of hook call order,
-    pool size, and re-instantiation — the property the
-    [CR_DOMAINS=1/4] determinism contract needs. *)
-
-type key
+type key = Cr_graphgen.Splitmix.key
 
 (** [of_int seed] is the root key of a decision stream. *)
 val of_int : int -> key

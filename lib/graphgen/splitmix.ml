@@ -1,0 +1,32 @@
+(* Keyed splitmix64: every random decision is a pure function of the keys
+   absorbed, so fault plans are reproducible bit-for-bit regardless of the
+   order hooks fire in, how work is sharded across a pool, or how many
+   times a plan is re-instantiated. *)
+
+type key = int64
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_int seed = mix64 (Int64.add (Int64.of_int seed) gamma)
+
+let mix k i =
+  mix64 (Int64.add (Int64.logxor k (Int64.of_int i)) gamma)
+
+let uniform k =
+  Int64.to_float (Int64.shift_right_logical (mix64 (Int64.add k gamma)) 11)
+  /. 9007199254740992.0
+
+let int_below k bound =
+  if bound <= 0 then invalid_arg "Splitmix.int_below: bound must be positive";
+  int_of_float (uniform k *. float_of_int bound)

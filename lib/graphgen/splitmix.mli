@@ -1,0 +1,24 @@
+(** Keyed splitmix64 — the deterministic randomness source for keyed
+    decision streams (fault plans, skewed workload draws).
+
+    Unlike a sequential PRNG, a [key] is a pure value: absorbing the same
+    ints always yields the same key, and every draw is a function of the
+    key alone. Callers key each decision by its identity — a fault plan
+    by (seed, src, dst, message-index), a Zipf workload by (seed, pair
+    index, draw index) — which makes outcomes independent of evaluation
+    order, pool size, and re-instantiation: the property the
+    [CR_DOMAINS=1/4] determinism contract needs. *)
+
+type key
+
+(** [of_int seed] is the root key of a decision stream. *)
+val of_int : int -> key
+
+(** [mix k i] absorbs [i], splitting off a derived key. *)
+val mix : key -> int -> key
+
+(** [uniform k] draws in [0, 1), a pure function of [k]. *)
+val uniform : key -> float
+
+(** [int_below k bound] draws uniformly in [0, bound). *)
+val int_below : key -> int -> int

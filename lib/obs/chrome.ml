@@ -90,6 +90,56 @@ let to_string ?(cost_scale = 1000.0) events =
   Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents buf
 
+(* Live windows render as a counter time series: ts = window index (one
+   logical window displays as 1ms), one lane per summary counter plus one
+   lane per run-level hot edge, so Perfetto draws the utilization
+   heatmap's evolution over the run. *)
+let live_timeline live =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let add line =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf line
+  in
+  let counter ~tid ~name ~ts value =
+    add
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"live\",\"ph\":\"C\",\"pid\":4,\
+          \"tid\":%d,\"ts\":%s,\"args\":{\"value\":%s}}"
+         (escape name) tid
+         (fl (float_of_int ts *. 1000.0))
+         (fl value))
+  in
+  let hot = Live.hot_edges live in
+  List.iter
+    (fun (ws : Live.window_stats) ->
+      let ts = ws.Live.ws_index in
+      counter ~tid:0 ~name:"live.delivery_rate" ~ts ws.Live.ws_delivery_rate;
+      counter ~tid:0 ~name:"live.stretch.p50" ~ts ws.Live.ws_stretch_p50;
+      counter ~tid:0 ~name:"live.stretch.p99" ~ts ws.Live.ws_stretch_p99;
+      counter ~tid:0 ~name:"live.util.max" ~ts
+        (float_of_int ws.Live.ws_util_max);
+      counter ~tid:0 ~name:"live.edge_messages" ~ts
+        (float_of_int ws.Live.ws_edge_messages);
+      List.iteri
+        (fun rank (e : Live.edge_load) ->
+          let count =
+            List.fold_left
+              (fun acc (he : Live.hot_edge) ->
+                if he.Live.he_u = e.Live.u && he.Live.he_v = e.Live.v then
+                  he.Live.he_count
+                else acc)
+              0 ws.Live.ws_top_edges
+          in
+          counter ~tid:(rank + 1)
+            ~name:(Printf.sprintf "edge %d-%d" e.Live.u e.Live.v)
+            ~ts (float_of_int count))
+        hot)
+    (Live.windows live);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
 let heatmap cost =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";

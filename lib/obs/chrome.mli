@@ -17,3 +17,11 @@ val to_string : ?cost_scale:float -> Trace.event list -> string
     JSON next to a {!to_string} timeline to see where congestion
     concentrates. *)
 val heatmap : Cost.t -> string
+
+(** [live_timeline live] renders a {!Live.t} accumulator as a Chrome
+    counter {e time series} on pid 4: the logical clock (window index)
+    is the timebase, and each retained window emits delivery-rate /
+    stretch-quantile / utilization counters plus one lane per run-level
+    hot edge — a per-edge utilization heatmap that evolves over the
+    run instead of aggregating it away. *)
+val live_timeline : Live.t -> string

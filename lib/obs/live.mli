@@ -1,0 +1,269 @@
+(** Streaming traffic telemetry: sliding windows over routed traffic,
+    per-window quantile sketches, and heavy-hitter top-k (ROADMAP item 4).
+
+    {!Cost} answers "what did the whole run cost"; [Live] answers "what is
+    hot {e right now} and how did it evolve as load ramped". A {!t} is an
+    accumulator threaded through [Cr_sim.Walker], [Cr_sim.Stats] and
+    [Cr_serve.Engine]: each routed message advances a {e logical clock}
+    ({!tick} — routed-message count, never wall time, so output stays
+    deterministic), route outcomes land in the current window
+    ({!record}), and every traversed edge lands in both the window's and
+    the run's utilization tables ({!record_edge}).
+
+    Like {!Cost}, the accumulator follows the null-context pattern:
+    {!null} is permanently disabled, {!record}/{!record_edge}/{!tick} on
+    it are no-ops whose disabled path is proven allocation-free by the
+    typed lint tier, and call sites guard with
+    [if Live.enabled live then ...] (enforced by the trace-guard rule).
+
+    Determinism contract: all sketches are deterministic functions of the
+    recorded stream, every accessor sorts its output, and recording
+    happens on the calling domain only (the structure is {b not}
+    thread-safe) — so feeding it in pair order, as [Stats] and [Engine]
+    do, makes snapshots byte-identical across [CR_DOMAINS] settings. *)
+
+(** Deterministic fixed-size mergeable quantile sketch.
+
+    A fixed array of log-spaced bucket counters (DDSketch-style): values
+    below {!val:Qsketch.v_min} share an underflow bucket, values past the
+    top share an overflow bucket, and everything between lands in one of
+    the geometrically-spaced buckets. {!Qsketch.merge} adds counter
+    arrays element-wise, so merging is exactly commutative and
+    associative on counts — quantiles are invariant under any merge
+    order or grouping (the pool-size-invariance property).
+
+    Rank guarantee: {!Qsketch.quantile} returns the bucket representative
+    of the {e exact} nearest-rank sample (rank error zero); the only
+    error is value discretization, bounded by
+    [rank_error_bound * true_value] relative for in-range values and by
+    [v_min] absolute below the range (tracked exact min/max serve the
+    extremes). *)
+module Qsketch : sig
+  type t
+
+  (** Number of buckets (underflow + log-spaced + overflow). *)
+  val buckets : int
+
+  (** Lower edge of the log-spaced range; smaller observations share the
+      underflow bucket at absolute error <= [v_min]. *)
+  val v_min : float
+
+  (** Relative value-error bound for in-range observations:
+      [sqrt gamma - 1] for bucket ratio [gamma]. *)
+  val rank_error_bound : float
+
+  val create : unit -> t
+
+  (** [add t x] absorbs one observation. Negative and NaN observations
+      clamp into the underflow bucket. *)
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  (** Exact sum/min/max of the absorbed observations (0, [infinity],
+      [neg_infinity] while empty). [sum] is exact but, unlike the
+      counters, float addition is not associative — quantiles and counts
+      are the merge-order-invariant part of the sketch. *)
+  val sum : t -> float
+
+  val min_value : t -> float
+  val max_value : t -> float
+
+  (** [quantile t p] estimates the nearest-rank [p]-quantile
+      (rank [ceil (p * count)], matching [Cr_sim.Stats]); 0.0 while
+      empty. The estimate is clamped into [[min_value, max_value]]. *)
+  val quantile : t -> float -> float
+
+  (** Element-wise counter addition plus exact min/max/sum combination;
+      the inputs are unchanged. *)
+  val merge : t -> t -> t
+end
+
+(** Space-Saving heavy-hitter sketch over integer keys.
+
+    At most [capacity] keys are tracked. Each reported entry carries its
+    estimated count and an error bound with the classic guarantee
+    [count - err <= true_count <= count], where [err <= total / capacity];
+    any key whose true count exceeds [total / capacity] is tracked.
+    Eviction and ordering tie-breaks are deterministic (smallest count,
+    then smallest key), so the sketch is a pure function of the input
+    stream. {!Topk.merge} is commutative; like all Misra-Gries-family
+    merges it widens error bounds and is only associative up to
+    truncation, so byte-identity across pool sizes comes from recording
+    in pair order, not from merge reassociation. *)
+module Topk : sig
+  type t
+
+  type entry = {
+    key : int;
+    count : int;  (** estimated occurrences; never an underestimate *)
+    err : int;  (** max overestimate: [count - err <= true <= count] *)
+  }
+
+  (** Raises [Invalid_argument] on non-positive capacity. *)
+  val create : capacity:int -> t
+
+  val capacity : t -> int
+
+  (** Total weight absorbed (the error-bound denominator). *)
+  val total : t -> int
+
+  (** [add t ?weight key] absorbs [weight] (default 1, must be positive)
+      occurrences of [key]. *)
+  val add : ?weight:int -> t -> int -> unit
+
+  (** [top t ~k] is the [k] heaviest tracked entries: count descending,
+      then err ascending, then key ascending. *)
+  val top : t -> k:int -> entry list
+
+  (** Union merge into a fresh sketch of the larger capacity, keeping
+      the heaviest keys; keys absent from one side absorb that side's
+      maximum-possible missed count into [err]. *)
+  val merge : t -> t -> t
+end
+
+type status = Delivered | Rerouted | Undeliverable
+
+type t
+
+(** Aggregate utilization of one undirected edge [(u, v)] with [u < v]. *)
+type edge_load = {
+  u : int;
+  v : int;
+  messages : int;
+}
+
+(** A heavy-hitter table entry ({!Topk.entry} with decoded key). *)
+type hot = {
+  hot_key : int;  (** node id *)
+  hot_count : int;
+  hot_err : int;
+}
+
+type hot_edge = {
+  he_u : int;
+  he_v : int;
+  he_count : int;
+  he_err : int;
+}
+
+(** One retained window's statistics. Quantiles follow [Cr_sim.Stats]'s
+    nearest-rank convention; [latency] is route cost, the latency proxy
+    of a metric-space simulation. *)
+type window_stats = {
+  ws_index : int;  (** window number since creation, 0-based *)
+  ws_routes : int;
+  ws_delivered : int;
+  ws_rerouted : int;
+  ws_undeliverable : int;
+  ws_delivery_rate : float;  (** (delivered + rerouted) / routes; 1.0 while empty *)
+  ws_stretch_p50 : float;
+  ws_stretch_p95 : float;
+  ws_stretch_p99 : float;
+  ws_stretch_max : float;
+  ws_hops_p50 : float;
+  ws_hops_p99 : float;
+  ws_latency_p50 : float;
+  ws_latency_p99 : float;
+  ws_edge_messages : int;  (** edge traversals in this window *)
+  ws_util_max : int;  (** max messages on any single edge this window *)
+  ws_edges_touched : int;
+  ws_top_edges : hot_edge list;  (** k heaviest, Space-Saving estimates *)
+  ws_top_dsts : hot list;
+  ws_top_srcs : hot list;
+}
+
+(** Whole-run aggregates (including windows already rotated out). *)
+type totals = {
+  t_routes : int;
+  t_delivered : int;
+  t_rerouted : int;
+  t_undeliverable : int;
+  t_delivery_rate : float;
+  t_stretch_p50 : float;
+  t_stretch_p95 : float;
+  t_stretch_p99 : float;
+  t_stretch_max : float;
+  t_edge_messages : int;  (** conservation invariant: equals the {!Cost}
+                              ledger's edge-message total when a walker
+                              carries both accumulators *)
+  t_util_max : int;  (** max per-edge messages within any one window *)
+}
+
+(** The disabled accumulator: {!enabled} is [false], recording is a
+    no-op, every accessor reports emptiness. *)
+val null : t
+
+(** [create ?window ?depth ?k ?capacity ()] is an enabled accumulator:
+    a ring of [depth] windows (default 8) of [window] ticks each
+    (default 256), reporting [k] heavy hitters (default 5) from
+    Space-Saving sketches of [capacity] counters (default 64). Raises
+    [Invalid_argument] on non-positive sizes or [capacity < k]. *)
+val create : ?window:int -> ?depth:int -> ?k:int -> ?capacity:int -> unit -> t
+
+val enabled : t -> bool
+
+(** Ticks per window / ring depth / reported heavy hitters. *)
+val window_size : t -> int
+
+val depth : t -> int
+val top_k : t -> int
+
+(** [tick t] advances the logical clock by one routed message, rotating
+    to a fresh window every [window] ticks (the oldest retained window is
+    evicted once [depth] windows are live). Call once per routed message,
+    before recording its outcome. No-op when disabled. *)
+val tick : t -> unit
+
+(** Total ticks so far. *)
+val clock : t -> int
+
+(** Windows rotated out of the ring so far. *)
+val evicted : t -> int
+
+(** [record t ~src ~dst ~status ~dist ~cost ~hops] lands one route
+    outcome in the current window: outcome counters, the destination /
+    source heavy-hitter sketches, and — when the route arrived and
+    [dist > 0] — the stretch ([cost/dist]), hop and latency quantile
+    sketches. No-op when disabled. *)
+val record :
+  t ->
+  src:int -> dst:int -> status:status -> dist:float -> cost:float ->
+  hops:int -> unit
+
+(** [record_edge t ~src ~dst] charges one message to the undirected edge
+    [(src, dst)] in the current window's and the run's utilization
+    tables and the window's edge heavy-hitter sketch. Endpoints must be
+    distinct ids in [[0, 2^20)]; anything else is ignored (out-of-band
+    moves carry no edge). No-op when disabled. *)
+val record_edge : t -> src:int -> dst:int -> unit
+
+(** Retained windows, oldest first. *)
+val windows : t -> window_stats list
+
+val totals : t -> totals
+
+(** Whole-run per-edge traversal counts (exact, not sketched), sorted by
+    [(u, v)]. *)
+val edge_totals : t -> edge_load list
+
+(** [hot_edges t] is the run's [k] most-traversed edges (exact counts):
+    messages descending, then [(u, v)] ascending. *)
+val hot_edges : t -> edge_load list
+
+(** Run-level heavy-hitter destinations / sources (Space-Saving
+    estimates, {!Topk.top} order). *)
+val hot_dsts : t -> hot list
+
+val hot_srcs : t -> hot list
+
+(** Deterministic human-readable rendering: a per-window table plus run
+    totals and heavy-hitter lists — the canonical byte-comparable
+    snapshot used by tests ([CR_DOMAINS=1/4] byte-identity) and
+    [crdemo live]. *)
+val render : t -> string
+
+(** [emit ctx t] publishes run totals as {!Trace} counters
+    ([live.routes], [live.delivery_rate], [live.util.max], ...); no-op
+    when [ctx] is disabled. *)
+val emit : Trace.context -> t -> unit

@@ -11,6 +11,7 @@ module Scheme = Cr_sim.Scheme
 module Workload = Cr_sim.Workload
 module Trace = Cr_obs.Trace
 module Cost = Cr_obs.Cost
+module Live = Cr_obs.Live
 module Pool = Cr_par.Pool
 module Rings = Cr_core.Rings
 module Hier_labeled = Cr_core.Hier_labeled
@@ -53,6 +54,7 @@ type cursor = {
   budget : int;
   mutable cur_phase : Trace.phase;
   acct : Cost.t;
+  lv : Live.t;
 }
 
 let cursor_spend c =
@@ -68,7 +70,11 @@ let cursor_step c v =
   c.total <- c.total +. w;
   if Cost.enabled c.acct then
     Cost.record c.acct ~phase:(Trace.phase_label c.cur_phase) ~src ~dst:v
-      ~round:(c.steps - 1) ~bits:0
+      ~round:(c.steps - 1) ~bits:0;
+  if Live.enabled c.lv then
+    (* the same edge charge into the current telemetry window; teleports
+       stay off the edge timeline, exactly as in Walker *)
+    Live.record_edge c.lv ~src ~dst:v
 
 let cursor_path c dst =
   if dst <> c.pos then
@@ -452,14 +458,21 @@ let walk t w ~dst =
   check_endpoint t "dst" dst;
   drive t (walker_exec w) ~dst
 
-let route ?(cost = Cost.null) t ~src ~dst =
+let route ?(cost = Cost.null) ?(live = Live.null) t ~src ~dst =
   check_endpoint t "src" src;
   check_endpoint t "dst" dst;
   let c =
     { adj = t.adj; cmetric = t.metric; pos = src; total = 0.0; steps = 0;
-      budget = t.budget; cur_phase = Trace.Unphased; acct = cost }
+      budget = t.budget; cur_phase = Trace.Unphased; acct = cost; lv = live }
   in
+  if Live.enabled live then Live.tick live;
   drive t (cursor_exec c) ~dst;
+  (* served routes run over an intact graph: every completed drive is a
+     delivery, and the stretch sample is cost over the metric distance *)
+  if Live.enabled live then
+    Live.record live ~src ~dst ~status:Live.Delivered
+      ~dist:(Metric.dist t.metric src dst)
+      ~cost:c.total ~hops:c.steps;
   { Scheme.cost = c.total; hops = c.steps }
 
 let first_move t ~src ~dst =
@@ -489,12 +502,20 @@ let[@cr.zero_alloc] next_hop t ~src ~dst =
       [@cr.alloc_ok "name-walking engines replay the route via a probe \
                      executor; only flat tables serve without allocating"])
 
-let batch ?obs ?(pool = Pool.default ()) t pairs =
+let batch ?obs ?(pool = Pool.default ()) ?(live = Live.null) t pairs =
   let ctx = Trace.resolve obs in
   let out =
     Pool.stage ctx pool
       ("serve.batch." ^ t.kind)
-      (fun () -> Pool.parallel_map pool (fun (src, dst) -> route t ~src ~dst) pairs)
+      (fun () ->
+        if Live.enabled live then
+          (* a live accumulator is single-domain state, and the window
+             clock is the routed-message count — serve sequentially so
+             the timeline is identical at every CR_DOMAINS (the
+             documented observability tax of [~live]) *)
+          Array.map (fun (src, dst) -> route ~live t ~src ~dst) pairs
+        else
+          Pool.parallel_map pool (fun (src, dst) -> route t ~src ~dst) pairs)
   in
   if Trace.enabled ctx then
     Trace.counter ctx

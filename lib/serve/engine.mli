@@ -88,19 +88,28 @@ val next_hop : t -> src:int -> dst:int -> int
     compares traces byte for byte. *)
 val walk : t -> Cr_sim.Walker.t -> dst:int -> unit
 
-(** [route ?cost t ~src ~dst] serves one route on a lean internal cursor
-    (same moves, costs, and [Cost] accounting as a walker, minus the
-    trace/trail machinery). Raises [Invalid_argument] on out-of-range
-    endpoints and [Walker.Hop_budget_exhausted] past the scheme's hop
-    budget, like the walker would. *)
+(** [route ?cost ?live t ~src ~dst] serves one route on a lean internal
+    cursor (same moves, costs, and [Cost] accounting as a walker, minus
+    the trace/trail machinery). An enabled [live] accumulator gets one
+    clock tick, every graph-edge traversal, and the route outcome
+    (served routes always deliver; the stretch sample is cost over the
+    metric distance). [live] is not thread-safe — route from one domain
+    per accumulator. Raises [Invalid_argument] on out-of-range endpoints
+    and [Walker.Hop_budget_exhausted] past the scheme's hop budget, like
+    the walker would. *)
 val route :
-  ?cost:Cr_obs.Cost.t -> t -> src:int -> dst:int -> Cr_sim.Scheme.outcome
+  ?cost:Cr_obs.Cost.t -> ?live:Cr_obs.Live.t ->
+  t -> src:int -> dst:int -> Cr_sim.Scheme.outcome
 
-(** [batch ?obs ?pool t pairs] serves every (src, dst) pair concurrently
-    over [pool] inside a ["serve.batch.<kind>"] stage. Results are in
-    input order and byte-identical whatever the pool size. *)
+(** [batch ?obs ?pool ?live t pairs] serves every (src, dst) pair
+    concurrently over [pool] inside a ["serve.batch.<kind>"] stage.
+    Results are in input order and byte-identical whatever the pool
+    size. An enabled [live] accumulator forces sequential serving in
+    pair order (single-domain telemetry state keyed by a logical clock)
+    — the documented observability tax of live telemetry. *)
 val batch :
   ?obs:Cr_obs.Trace.context -> ?pool:Cr_par.Pool.t ->
+  ?live:Cr_obs.Live.t ->
   t -> (int * int) array -> Cr_sim.Scheme.outcome array
 
 (** {1 Accounting} *)

@@ -64,6 +64,24 @@ let of_summary (s : Stats.summary) =
     ("cost.max", Float s.Stats.max_cost);
     ("hops.total", Int s.Stats.total_hops) ]
 
+let of_live_window (w : Cr_obs.Live.window_stats) =
+  [ ("win.index", Int w.Cr_obs.Live.ws_index);
+    ("routes", Int w.Cr_obs.Live.ws_routes);
+    ("routes.delivered", Int w.Cr_obs.Live.ws_delivered);
+    ("routes.rerouted", Int w.Cr_obs.Live.ws_rerouted);
+    ("routes.undeliverable", Int w.Cr_obs.Live.ws_undeliverable);
+    ("delivery.rate", Float w.Cr_obs.Live.ws_delivery_rate);
+    ("stretch.p50", Float w.Cr_obs.Live.ws_stretch_p50);
+    ("stretch.p95", Float w.Cr_obs.Live.ws_stretch_p95);
+    ("stretch.p99", Float w.Cr_obs.Live.ws_stretch_p99);
+    ("hops.p50", Float w.Cr_obs.Live.ws_hops_p50);
+    ("hops.p99", Float w.Cr_obs.Live.ws_hops_p99);
+    ("latency.p50", Float w.Cr_obs.Live.ws_latency_p50);
+    ("latency.p99", Float w.Cr_obs.Live.ws_latency_p99);
+    ("win.edge_messages", Int w.Cr_obs.Live.ws_edge_messages);
+    ("win.util.max", Int w.Cr_obs.Live.ws_util_max);
+    ("win.edges", Int w.Cr_obs.Live.ws_edges_touched) ]
+
 let of_snapshot snap =
   List.concat_map
     (fun (name, entry) ->

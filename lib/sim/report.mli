@@ -65,6 +65,12 @@ val of_summary : Stats.summary -> (string * value) list
     [h.count] and [h.sum]. *)
 val of_snapshot : (string * Cr_obs.Metrics.entry) list -> (string * value) list
 
+(** [of_live_window w] is the standard per-window telemetry block of a
+    row: [win.index], route outcome counts, [delivery.rate], stretch /
+    hop / latency quantiles, and the window's edge-utilization figures
+    ([win.edge_messages], [win.util.max], [win.edges]). *)
+val of_live_window : Cr_obs.Live.window_stats -> (string * value) list
+
 (** [to_json ?timings t] is the deterministic JSON rendering;
     [~timings:false] omits every row's timings object — the
     byte-comparable deterministic projection (used by the cross-domain

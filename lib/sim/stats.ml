@@ -72,9 +72,18 @@ type degraded_summary = {
   arrived : summary option;
 }
 
+let live_status = function
+  | Scheme.Delivered -> Cr_obs.Live.Delivered
+  | Scheme.Rerouted -> Cr_obs.Live.Rerouted
+  | Scheme.Undeliverable -> Cr_obs.Live.Undeliverable
+
 (* Same pooling contract as [samples_of]: samples return in pair order, so
-   the summary equals the sequential run's regardless of pool size. *)
-let measure_degraded ?pool m (s : Scheme.degraded) naming pairs =
+   the summary equals the sequential run's regardless of pool size. Live
+   telemetry is recorded from the merged outcome list on the calling
+   domain — also in pair order — so its snapshots inherit the same
+   pool-size invariance. *)
+let measure_degraded ?pool ?(live = Cr_obs.Live.null) m (s : Scheme.degraded)
+    naming pairs =
   let sample (src, dst) =
     let o = s.Scheme.dg_route ~src ~dest_name:naming.Workload.name_of.(dst) in
     (Metric.dist m src dst, o)
@@ -84,6 +93,14 @@ let measure_degraded ?pool m (s : Scheme.degraded) naming pairs =
     | None -> List.map sample pairs
     | Some pool -> Cr_par.Pool.parallel_map_list pool sample pairs
   in
+  (if Cr_obs.Live.enabled live then
+     List.iter2
+       (fun (src, dst) (d, (o : Scheme.degraded_outcome)) ->
+         Cr_obs.Live.tick live;
+         Cr_obs.Live.record live ~src ~dst
+           ~status:(live_status o.Scheme.d_status)
+           ~dist:d ~cost:o.Scheme.d_cost ~hops:o.Scheme.d_hops)
+       pairs outcomes);
   let delivered = ref 0 and rerouted = ref 0 and undeliverable = ref 0 in
   let reroutes = ref 0 in
   let arrived_samples =

@@ -47,9 +47,16 @@ type degraded_summary = {
 
 (** [measure_degraded m scheme naming pairs] routes every pair through a
     degraded scheme view; [pool] as in {!measure_labeled} (samples merge
-    in pair order, so the summary is pool-size-invariant). *)
+    in pair order, so the summary is pool-size-invariant).
+
+    [live] (default disabled) streams route-level telemetry into a
+    {!Cr_obs.Live} accumulator — one [tick] plus one [record] per pair,
+    fed from the merged outcome list on the calling domain in pair
+    order, so live snapshots are byte-identical across pool sizes.
+    Per-edge utilization is out of scope here (the degraded scheme owns
+    its walkers); use a [Walker] with [~live] for edge telemetry. *)
 val measure_degraded :
-  ?pool:Cr_par.Pool.t ->
+  ?pool:Cr_par.Pool.t -> ?live:Cr_obs.Live.t ->
   Cr_metric.Metric.t -> Scheme.degraded -> Workload.naming ->
   (int * int) list -> degraded_summary
 

@@ -2,6 +2,7 @@ module Metric = Cr_metric.Metric
 module Graph = Cr_metric.Graph
 module Trace = Cr_obs.Trace
 module Cost = Cr_obs.Cost
+module Live = Cr_obs.Live
 
 exception Hop_budget_exhausted
 
@@ -19,10 +20,11 @@ type t = {
   failures : Failures.t;
   acct : Cost.t;  (* per-edge routed-traffic accounting *)
   hop_bits : int;  (* bits charged per forwarded packet *)
+  live : Live.t;  (* streaming per-window edge telemetry *)
 }
 
 let create ?obs ?(failures = Failures.none) ?(cost = Cost.null)
-    ?(hop_bits = 0) m ~start ~max_hops =
+    ?(hop_bits = 0) ?(live = Live.null) m ~start ~max_hops =
   if start < 0 || start >= Metric.n m then
     invalid_arg "Walker.create: start out of range";
   if Failures.node_failed failures start then
@@ -30,7 +32,7 @@ let create ?obs ?(failures = Failures.none) ?(cost = Cost.null)
   if hop_bits < 0 then invalid_arg "Walker.create: negative hop_bits";
   { metric = m; position = start; cost = 0.0; hops = 0; trail = [ start ];
     max_hops; obs = Trace.resolve obs; phase = Trace.Unphased; failures;
-    acct = cost; hop_bits }
+    acct = cost; hop_bits; live }
 
 let position w = w.position
 let cost w = w.cost
@@ -80,7 +82,11 @@ let step w v =
       (* same accounting as the protocol simulator: one message on the
          traversed edge, round = hop index, phase = the route phase *)
       Cost.record w.acct ~phase:(Trace.phase_label w.phase) ~src ~dst:v
-        ~round:(w.hops - 1) ~bits:w.hop_bits
+        ~round:(w.hops - 1) ~bits:w.hop_bits;
+    if Live.enabled w.live then
+      (* the same edge charge, into the current telemetry window; the
+         route lifecycle (tick + outcome) belongs to the caller *)
+      Live.record_edge w.live ~src ~dst:v
 
 let walk_shortest_path w dst =
   if dst <> w.position then

@@ -28,10 +28,17 @@ exception Blocked of { src : int; dst : int }
     only) to the traversed edge, with round = hop index and phase = the
     current route phase's label; {!teleport} charges the phase totals
     but no edge. {!charge} is analytic cost, not traffic, and charges
-    nothing. *)
+    nothing.
+
+    [live] (default disabled) mirrors the same per-edge charge into a
+    {!Cr_obs.Live} streaming-telemetry window on every {!step}; the
+    route lifecycle ([Live.tick] before the route, [Live.record] with
+    its outcome after) stays with the caller. Like trace sinks, a live
+    accumulator is mutated from the calling domain and must not be
+    shared with pooled routing. *)
 val create :
   ?obs:Cr_obs.Trace.context -> ?failures:Failures.t ->
-  ?cost:Cr_obs.Cost.t -> ?hop_bits:int ->
+  ?cost:Cr_obs.Cost.t -> ?hop_bits:int -> ?live:Cr_obs.Live.t ->
   Cr_metric.Metric.t -> start:int -> max_hops:int -> t
 
 (** [obs w] is the walker's observability context. *)

@@ -22,6 +22,51 @@ let pairs_for ~n ~seed ~budget =
   if n * (n - 1) <= budget then all_pairs n
   else sample_pairs ~n ~count:budget ~seed
 
+module Splitmix = Cr_graphgen.Splitmix
+
+(* Zipf(alpha) over popularity ranks: cumulative weights once, then each
+   draw is an inverse-CDF binary search. Every draw is keyed by
+   (seed, pair index, draw index) through the pure Splitmix key tree, so
+   pair i's endpoints are a function of the seed alone — independent of
+   evaluation order, pool size, and how many pairs are requested. *)
+let zipf_cumulative ~n ~alpha =
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) alpha);
+    cum.(r) <- !acc
+  done;
+  cum
+
+(* First rank r with u < cum.(r). *)
+let rank_of cum u =
+  let rec go lo hi =
+    if lo = hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if u < cum.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length cum - 1)
+
+let zipf_pairs ~n ~alpha ~count ~seed =
+  if n < 2 then invalid_arg "Workload.zipf_pairs: n must be >= 2";
+  if not (alpha >= 0.0) then
+    invalid_arg "Workload.zipf_pairs: alpha must be >= 0";
+  let cum = zipf_cumulative ~n ~alpha in
+  let total = cum.(n - 1) in
+  (* rank -> node: a seeded permutation decouples popularity from id. *)
+  let node_of_rank = Rng.permutation (Rng.create seed) n in
+  let root = Splitmix.of_int seed in
+  let draw key = node_of_rank.(rank_of cum (Splitmix.uniform key *. total)) in
+  List.init count (fun i ->
+      let k = Splitmix.mix root i in
+      let src = draw (Splitmix.mix k 0) in
+      let rec distinct j =
+        let dst = draw (Splitmix.mix k j) in
+        if dst = src then distinct (j + 1) else dst
+      in
+      (src, distinct 1))
+
 type naming = {
   name_of : int array;
   node_of : int array;

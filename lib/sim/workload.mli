@@ -15,6 +15,18 @@ val sample_pairs : n:int -> count:int -> seed:int -> (int * int) list
     a sample of [budget] pairs otherwise — the harness's default policy. *)
 val pairs_for : n:int -> seed:int -> budget:int -> (int * int) list
 
+(** [zipf_pairs ~n ~alpha ~count ~seed] draws [count] ordered pairs with
+    [u <> v] whose endpoints are Zipf([alpha])-distributed over
+    popularity ranks — the skewed traffic matrix a large user population
+    generates (ROADMAP item 4); [alpha = 0] degenerates to uniform. A
+    seeded permutation maps ranks to node ids, and every endpoint draw
+    is keyed by (seed, pair index, draw index) through
+    [Cr_graphgen.Splitmix], so pair [i] is a pure function of the seed:
+    deterministic across hosts, evaluation orders, and domain counts.
+    Raises [Invalid_argument] when [n < 2] or [alpha] is negative. *)
+val zipf_pairs :
+  n:int -> alpha:float -> count:int -> seed:int -> (int * int) list
+
 type naming = {
   name_of : int array;  (** node -> name *)
   node_of : int array;  (** name -> node *)

@@ -1,0 +1,17 @@
+(* Trace-guard fixture for the Live telemetry rule: [drip] emits into a
+   live accumulator with no [Live.enabled] guard (one finding when this
+   source is linted at a lib/ path), [watched] is the guarded idiom and
+   must stay silent. Compiled as part of the fixture library so the
+   typed tier also walks it — it carries no [@cr.zero_alloc] chains, no
+   pool closures, and no wire messages, so it adds nothing to the other
+   rules' expected counts. *)
+
+let drip live ~src ~dst = Cr_obs.Live.record_edge live ~src ~dst
+
+let watched live ~src ~dst ~dist ~cost ~hops =
+  if Cr_obs.Live.enabled live then begin
+    Cr_obs.Live.tick live;
+    Cr_obs.Live.record_edge live ~src ~dst;
+    Cr_obs.Live.record live ~src ~dst ~status:Cr_obs.Live.Delivered ~dist
+      ~cost ~hops
+  end

@@ -27,5 +27,6 @@ let () =
       ("cost", Test_cost.suite);
       ("integration", Test_integration.suite);
       ("serve", Test_serve.suite);
+      ("live", Test_live.suite);
       ("registry", Test_registry.suite);
       ("lint", Test_lint.suite) ]

@@ -72,6 +72,23 @@ let trace_guarded_cost =
   \  if Trace.enabled ctx then\n\
   \    Cr_obs.Cost.record cost ~phase:\"p\" ~src:0 ~dst:1 ~round:0 ~bits:8\n"
 
+let unguarded_live =
+  "let f live = Cr_obs.Live.record_edge live ~src:0 ~dst:1\n"
+
+let guarded_live =
+  "let f live ~src ~dst =\n\
+  \  if Cr_obs.Live.enabled live then begin\n\
+  \    Cr_obs.Live.tick live;\n\
+  \    Cr_obs.Live.record_edge live ~src ~dst\n\
+  \  end\n"
+
+(* one Trace.enabled flag may dominate Live emissions too *)
+let trace_guarded_live =
+  "let f ctx live =\n\
+  \  if Trace.enabled ctx then\n\
+  \    Cr_obs.Live.record live ~src:0 ~dst:1 ~status:Cr_obs.Live.Delivered\n\
+  \      ~dist:1.0 ~cost:1.0 ~hops:1\n"
+
 (* offline registry use: construction / sink folding are not emissions *)
 let metrics_sink_is_exempt =
   "let f events =\n\
@@ -385,6 +402,33 @@ let old_pool_purity_misses () =
         (List.length diags)
     end
 
+(* fx_live.ml compiles as part of the fixture library (so the typed tier
+   walks it too), but its unguarded emission is a *syntactic* trace-guard
+   case: linted at a lib/ path it must fire exactly once — the guarded
+   [watched] function stays silent. *)
+let live_fixture_fires () =
+  match find_source_root () with
+  | None -> ()
+  | Some root ->
+    let path = Filename.concat root (fixture_dir ^ "/fx_live.ml") in
+    if Sys.file_exists path then begin
+      let src = In_channel.with_open_text path In_channel.input_all in
+      let trace_guard =
+        List.filter
+          (fun r -> String.equal r.Rule.id "trace-guard")
+          Engine.all_rules
+      in
+      let diags =
+        Engine.check_source ~rules:trace_guard ~rel:"lib/sim/fx_live.ml" src
+      in
+      Helpers.check_int "exactly the unguarded Live emission" 1
+        (List.length diags);
+      Helpers.check_bool "finding names the Live flag" true
+        (match diags with
+        | [ d ] -> contains d.Rule.message "Live.enabled"
+        | _ -> false)
+    end
+
 let typed_clean_tree () =
   match find_build_root () with
   | None -> ()
@@ -429,6 +473,14 @@ let suite =
     case "trace-guard: Trace.enabled guard covers Cost emissions"
       (clean "cost trace-guarded" ~rel:"lib/proto/fixture.ml"
          trace_guarded_cost);
+    case "trace-guard: unguarded Live emission fires"
+      (fires_once "live" "trace-guard" ~rel:"lib/sim/fixture.ml"
+         unguarded_live);
+    case "trace-guard: Live.enabled guard silences tick and record"
+      (clean "live guarded" ~rel:"lib/sim/fixture.ml" guarded_live);
+    case "trace-guard: Trace.enabled guard covers Live emissions"
+      (clean "live trace-guarded" ~rel:"lib/serve/fixture.ml"
+         trace_guarded_live);
     case "determinism: Hashtbl.fold in pooled dirs fires"
       (fires_once "determinism" "determinism" ~rel:"lib/metric/fixture.ml"
          hashtbl_fold);
@@ -478,4 +530,6 @@ let suite =
       wire_exhaustive_fixtures;
     case "typed: syntactic pool-purity misses the escape fixtures"
       old_pool_purity_misses;
+    case "trace-guard: fx_live fixture fires once at a lib path"
+      live_fixture_fires;
     case "typed: clean tree: zero findings at HEAD" typed_clean_tree ]

@@ -1,7 +1,8 @@
 (* trace-guard: every Cr_obs.Trace emission outside lib/obs — and every
-   direct Cr_obs.Metrics registry emission (inc/set/observe) — must be
-   dominated by a [Trace.enabled] test, so the null-sink path never even
-   allocates the event payload (the ROADMAP's zero-overhead contract).
+   direct Cr_obs.Metrics registry emission (inc/set/observe), Cost
+   ledger charge, and Live telemetry record — must be dominated by an
+   [enabled] test, so the null-sink path never even allocates the event
+   payload (the ROADMAP's zero-overhead contract).
    Offline registry use (folding a captured event list through
    [Metrics.sink], as bench and crdemo do) never calls inc/set/observe
    directly and stays clean.
@@ -20,6 +21,7 @@ let id = "trace-guard"
 let trace_fns = [ "emit"; "counter"; "mark"; "hop"; "message" ]
 let metrics_fns = [ "inc"; "set"; "observe" ]
 let cost_fns = [ "record"; "emit" ]
+let live_fns = [ "record"; "record_edge"; "tick" ]
 
 (* (module, fn) of an emission call, e.g. ("Trace", "hop"). *)
 let emission_name f =
@@ -27,17 +29,19 @@ let emission_name f =
   | fn :: "Trace" :: _ when List.mem fn trace_fns -> Some ("Trace", fn)
   | fn :: "Metrics" :: _ when List.mem fn metrics_fns -> Some ("Metrics", fn)
   | fn :: "Cost" :: _ when List.mem fn cost_fns -> Some ("Cost", fn)
+  | fn :: "Live" :: _ when List.mem fn live_fns -> Some ("Live", fn)
   | _ -> None
 
-(* Cost accounting carries its own enabled flag (the null-accumulator
-   pattern mirrors the null trace context), so either guard satisfies
-   the zero-overhead contract. *)
+(* Cost accounting and Live telemetry carry their own enabled flags
+   (null-accumulator pattern mirroring the null trace context), so any
+   of the three guards satisfies the zero-overhead contract. *)
 let is_enabled_app e =
   match e.pexp_desc with
   | Pexp_apply (f, _) ->
     let path = A.path_of f in
     A.ends_with ~suffix:[ "Trace"; "enabled" ] path
     || A.ends_with ~suffix:[ "Cost"; "enabled" ] path
+    || A.ends_with ~suffix:[ "Live"; "enabled" ] path
   | _ -> false
 
 let mentions_enabled e = A.exists_expr is_enabled_app e
@@ -75,8 +79,8 @@ let check (input : Rule.input) =
                   (Printf.sprintf
                      "unguarded %s.%s emission; dominate it with `if \
                       Trace.enabled ctx then ...` (or `if Cost.enabled \
-                      cost then ...`) so the null-sink path stays \
-                      zero-overhead"
+                      cost then ...` / `if Live.enabled live then ...`) \
+                      so the null-sink path stays zero-overhead"
                      m fn)
                 :: !diags
             | None -> ());
@@ -89,7 +93,8 @@ let check (input : Rule.input) =
 let rule =
   { Rule.id;
     doc =
-      "Trace/Metrics/Cost emissions outside lib/obs must be guarded by \
-       Trace.enabled or Cost.enabled (zero-overhead null sink)";
+      "Trace/Metrics/Cost/Live emissions outside lib/obs must be guarded \
+       by Trace.enabled, Cost.enabled, or Live.enabled (zero-overhead \
+       null sink)";
     applies = (fun rel -> not (Rule.under [ "lib/obs" ] rel));
     check }

@@ -118,7 +118,87 @@ let check_row ~epsilon row =
     in
     identical @ alloc
   in
-  let extra_findings = cost_findings @ fallback_findings @ serve_findings in
+  (* E21 brownout gates: a row carrying zipf.alpha is one failure tier of
+     Zipf traffic through the Thm 1.4 failover scheme, watched by
+     Cr_obs.Live. Three contracts: (1) conservation — the Live edge
+     totals must equal the Cost ledger's per-edge message sum exactly
+     (same walker, two accountants); (2) a delivery-rate floor per tier,
+     anchored at half the uniform-traffic E18c curve (skew may redraw
+     which routes die, but not collapse delivery); (3) a p99 stretch
+     ceiling from the 9 + eps + 2/eps bound — delivered routes keep the
+     guarantee with 3% slack on an intact graph, and failovers may pay
+     at most a 3x detour multiple over it. *)
+  let brownout_findings =
+    match metric "zipf.alpha" with
+    | None -> []
+    | Some _ -> (
+      match
+        ( metric "fault.edge_rate", metric "fault.node_fraction",
+          metric "delivery.rate", metric "stretch.p99",
+          metric "live.edge_messages", metric "cost.edge_messages" )
+      with
+      | Some er, Some nfrac, Some rate, Some p99, Some lem, Some cem ->
+        let conserved = Float.equal lem cem in
+        let conservation =
+          { ok = conserved;
+            path = key "brownout-conservation";
+            message =
+              Printf.sprintf "%s: live.edge_messages %d %s cost.edge_messages %d"
+                (if conserved then "edge accounting conserved"
+                 else "EDGE ACCOUNTING DRIFT")
+                (int_of_float lem)
+                (if conserved then "=" else "<>")
+                (int_of_float cem) }
+        in
+        let intact = Float.equal er 0.0 && Float.equal nfrac 0.0 in
+        let floor_finding =
+          let e18_anchor =
+            (* E18c delivery under uniform traffic at the same failure
+               sets (BENCH_e18.json); an intact graph must deliver all. *)
+            if intact then Some 1.0
+            else
+              List.assoc_opt
+                (str "family", er, nfrac)
+                [ (("geo-1024", 0.01, 0.0), 0.77);
+                  (("geo-1024", 0.02, 0.02), 0.1395);
+                  (("grid-32x32", 0.01, 0.0), 0.6205);
+                  (("grid-32x32", 0.02, 0.02), 0.202) ]
+          in
+          match e18_anchor with
+          | None -> []
+          | Some anchor ->
+            let floor = if intact then 1.0 else anchor /. 2.0 in
+            [ { ok = rate >= floor;
+                path = key "brownout-delivery";
+                message =
+                  Printf.sprintf "%s: %.3f >= %.3f (%s)"
+                    (if rate >= floor then "delivery above floor"
+                     else "DELIVERY BELOW floor")
+                    rate floor
+                    (if intact then "intact graph delivers all"
+                     else
+                       Printf.sprintf "half the uniform E18c rate %.3f" anchor) } ]
+        in
+        let ni_bound = 9.0 +. epsilon +. (2.0 /. epsilon) in
+        let p99_findings =
+          if intact then
+            [ bound "brownout-p99" p99 (ni_bound *. 1.03)
+                (Printf.sprintf " (1.03 (9 + eps + 2/eps) at eps=%.2f)"
+                   epsilon) ]
+          else
+            [ bound "brownout-p99" p99 (ni_bound *. 3.0)
+                (Printf.sprintf " (3x failover detours over 9 + eps + 2/eps)") ]
+        in
+        (conservation :: floor_finding) @ p99_findings
+      | _ ->
+        [ { ok = false;
+            path = key "brownout-skip";
+            message =
+              "zipf.alpha row lacks fault/delivery/stretch/edge metrics" } ])
+  in
+  let extra_findings =
+    cost_findings @ fallback_findings @ serve_findings @ brownout_findings
+  in
   match classify (str "scheme") with
   | None -> extra_findings
   | Some (cls, carries_delta) -> (

@@ -1,0 +1,152 @@
+(* E22 — scaling past the matrix: sampled-pair evaluation on graphs the
+   dense APSP harness cannot touch.
+
+   Krioukov, Fall & Yang's critique of compact routing targets
+   Internet-like power-law graphs three orders of magnitude larger than
+   anything the dense experiments here can build: Metric.of_graph
+   materializes the n^2 matrix, so everything tops out near geo-1024.
+   This experiment drives the Cr_scale tier end-to-end instead — build
+   10^4..10^5-node graphs (preferential attachment plus a bucketed-kNN
+   geometric family), wrap them in the lazy distance oracle, construct a
+   measured Thorup–Zwick landmark baseline and the paper's zooming-model
+   scheme from truncated searches only, and evaluate seeded sampled
+   pairs with full-Dijkstra denominators (Cr_scale.Eval).
+
+   Every scheme row carries its own work receipt: scale.settled (nodes
+   settled during evaluation) against scale.settled_budget
+   (n * sources * (levels + 3)) plus the construction totals — the proof
+   that no O(n^2) structure was ever built. tools/report/check.ml gates
+   the receipt, the landmark stretch-3 and zooming-model stretch
+   ceilings on the sampled quantiles, and the zooming directory's
+   average table bits against the polylog budget. All draws are keyed
+   (splitmix) and all fan-out is fixed-chunk, so every recorded number
+   is byte-identical across CR_DOMAINS. *)
+
+open Common
+module Graph = Cr_metric.Graph
+module Oracle = Cr_scale.Oracle
+module Nets = Cr_scale.Nets
+module Eval = Cr_scale.Eval
+module Landmark_scale = Cr_scale.Landmark_scale
+module Zoom_scale = Cr_scale.Zoom_scale
+module Stats = Cr_sim.Stats
+
+let landmark_seed = 3
+let pair_seed = 17
+let alpha = 0.0
+let epsilon = 0.5
+let zoom_sample = 64
+
+(* (name, generator, sources, per_source, storage sample; 0 = exact
+   sweep). plaw-100k is the acceptance instance: 10^5 nodes, 256 x 40 =
+   10240 sampled pairs. *)
+let families () =
+  [ ( "geo-16k",
+      (fun () -> Cr_graphgen.Geometric.knn_bucketed ~n:16_384 ~k:6 ~seed:11),
+      128, 40, 0 );
+    ( "plaw-10k",
+      (fun () -> Cr_graphgen.Power_law.preferential ~n:10_000 ~m:3 ~seed:13),
+      128, 40, zoom_sample );
+    ( "plaw-100k",
+      (fun () -> Cr_graphgen.Power_law.preferential ~n:100_000 ~m:3 ~seed:13),
+      256, 40, zoom_sample ) ]
+
+let timed f =
+  let t0 = Cr_obs.Trace.wall_clock () in
+  let v = f () in
+  (v, Cr_obs.Trace.wall_clock () -. t0)
+
+let run_family (name, gen, sources, per_source, sample) =
+  let p = pool () in
+  let graph, graph_dt = timed gen in
+  let oracle = Oracle.create graph in
+  let g = Oracle.graph oracle in
+  let n = Oracle.n oracle in
+  let lm, lm_dt =
+    timed (fun () -> Landmark_scale.build ~pool:p oracle ~seed:landmark_seed)
+  in
+  let zoom, zoom_dt = timed (fun () -> Zoom_scale.build oracle ~epsilon) in
+  let (zoom_storage, sweep_settled), sweep_dt =
+    timed (fun () -> Zoom_scale.storage ~pool:p ~sample zoom)
+  in
+  let levels = Nets.top_level (Zoom_scale.nets zoom) in
+  let budget = n * sources * (levels + 3) in
+  let snap = Oracle.snapshot oracle in
+  let pairs =
+    Eval.sample_pairs ~n ~sources ~per_source ~alpha ~seed:pair_seed
+  in
+  let schemes =
+    [ ( Landmark_scale.scheme ~storage:(Landmark_scale.storage lm) lm,
+        lm_dt,
+        Landmark_scale.build_settled lm,
+        [ ("landmarks", Report.Int (Landmark_scale.landmark_count lm)) ] );
+      ( Zoom_scale.scheme ~storage:zoom_storage zoom,
+        zoom_dt +. sweep_dt,
+        Nets.settled_work (Zoom_scale.nets zoom) + sweep_settled,
+        [ ("epsilon", Report.Float epsilon) ] ) ]
+  in
+  List.iter
+    (fun ((scheme : Eval.scheme), build_dt, build_settled, extras) ->
+      let r, eval_dt = timed (fun () -> Eval.measure ~pool:p g scheme pairs) in
+      let st = Option.get scheme.Eval.storage in
+      let s = r.Eval.summary in
+      record ~family:name ~scheme:scheme.Eval.name
+        ~timings:
+          [ ("graph.seconds", graph_dt);
+            ("build.seconds", build_dt);
+            ("eval.seconds", eval_dt) ]
+        (Report.of_summary s
+        @ [ ("n", Report.Int n);
+            ("edges", Report.Int (Graph.num_edges g));
+            ("levels", Report.Int levels);
+            ("delta.ub", Report.Float (Float.pow 2.0 (float_of_int levels)));
+            ("table_bits.max", Report.Int st.Eval.bits_max);
+            ("table_bits.avg", Report.Float st.Eval.bits_avg);
+            ("table_bits.sampled",
+             Report.Int (if st.Eval.bits_sampled then 1 else 0));
+            ("header_bits", Report.Int scheme.Eval.header_bits);
+            ("scale.sssp", Report.Int r.Eval.work.Eval.sssp);
+            ("scale.bounded_runs", Report.Int r.Eval.work.Eval.bounded_runs);
+            ("scale.settled", Report.Int r.Eval.work.Eval.settled);
+            ("scale.settled_budget", Report.Int budget);
+            ("scale.build.settled", Report.Int build_settled);
+            ("scale.oracle.sssp", Report.Int snap.Oracle.sssp_runs);
+            ("scale.oracle.settled", Report.Int snap.Oracle.settled);
+            ("scale.oracle.hits", Report.Int snap.Oracle.hits) ]
+        @ extras);
+      print_row
+        [ cell "%-10s" name;
+          cell "%-28s" scheme.Eval.name;
+          cell "%7d" n;
+          cell "%7d" (Graph.num_edges g);
+          cell "%3d" levels;
+          cell "%5d" s.Stats.count;
+          cell "%6.3f" s.Stats.p50_stretch;
+          cell "%6.3f" s.Stats.p99_stretch;
+          cell "%6.3f" s.Stats.max_stretch;
+          bits_cell st.Eval.bits_max st.Eval.bits_avg;
+          cell "%5d" r.Eval.work.Eval.sssp;
+          cell "%9d" r.Eval.work.Eval.settled;
+          cell "%10d" budget ])
+    schemes
+
+let run () =
+  print_header
+    "E22 (scale): sampled-pair stretch past the APSP wall, oracle-work \
+     receipts"
+    [ "family"; "scheme"; "n"; "edges"; "lvl"; "pairs"; "p50"; "p99"; "max";
+      "bits max/avg"; "sssp"; "settled"; "budget" ];
+  List.iter run_family (families ());
+  print_newline ();
+  print_endline
+    "Shape: the landmark baseline holds stretch 3 but pays near-linear";
+  print_endline
+    "tables on the power-law families (hub bunches grow with degree); the";
+  print_endline
+    "zooming model keeps its (12 eps + 4)/(1 - eps) + 3 ceiling with";
+  print_endline
+    "polylog average directories. The settled-node receipts stay under the";
+  print_endline
+    "n * sources * (levels + 3) budget: nothing here ever built a row per";
+  print_endline
+    "node, which is what lets this table include a 10^5-node graph."

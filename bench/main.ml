@@ -38,6 +38,8 @@ let experiments =
     ("e20", "route serving: compiled tables, served = walked", Exp_serve.run);
     ("e21", "brownout: Zipf traffic under failures, live telemetry",
      Exp_brownout.run);
+    ("e22", "scale: sampled-pair stretch past the APSP wall (10^4..10^5 nodes)",
+     Exp_scale.run);
     ("bechamel", "timing micro-benchmarks", Exp_bechamel.run) ]
 
 (* `parallel-scaling` is the documented name of E17; the alias resolves on
@@ -82,12 +84,27 @@ let write_manifest dir keys =
            ("landmark", 3); ("zipf", 47) ]
        ~experiments:keys)
 
+(* The self-diagnosing unknown-experiment error: every registered key with
+   its title, aliases marked as such, so a --report typo tells the reader
+   exactly what the harness knows how to run. *)
+let list_registered () =
+  String.concat "\n"
+    (List.map
+       (fun (k, title, _) -> Printf.sprintf "  %-18s %s" k title)
+       experiments
+    @ List.map
+        (fun (k, title, _) -> Printf.sprintf "  %-18s %s" k title)
+        aliases)
+
 let () =
   let rec parse report keys = function
     | [] -> (report, List.rev keys)
     | "--report" :: dir :: rest -> parse (Some dir) keys rest
     | [ "--report" ] ->
       prerr_endline usage;
+      exit 2
+    | flag :: _ when String.length flag > 0 && flag.[0] = '-' ->
+      Printf.eprintf "unknown option %S\n%s\n" flag usage;
       exit 2
     | key :: rest -> parse report (key :: keys) rest
   in
@@ -118,8 +135,9 @@ let () =
             | None -> ())
           report_dir
       | None ->
-        Printf.eprintf "unknown experiment %S; available: %s\n" key
-          (String.concat ", " (List.map (fun (k, _, _) -> k) experiments));
+        Printf.eprintf
+          "unknown experiment %S; registered experiments (and aliases):\n%s\n"
+          key (list_registered ());
         exit 1)
     requested;
   Option.iter (fun dir -> write_manifest dir requested) report_dir

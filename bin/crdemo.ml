@@ -7,7 +7,8 @@
    Family syntax (seeded generators take an optional trailing seed):
      grid:SIDE | holey:SIDE:FRac[:SEED] | geo:N:K[:SEED] | ring:N
      chain:N:BASE | star:LEAVES | tree:N:MAXDEG[:SEED] | cube:DIM
-     lbtree:N:P:Q *)
+     lbtree:N:P:Q | geob:N:K[:SEED] (bucketed kNN, scales to 10^4+)
+     | plaw:N:M[:SEED] (preferential attachment) *)
 
 module Metric = Cr_metric.Metric
 module Graph = Cr_metric.Graph
@@ -33,6 +34,12 @@ let parse_family spec =
   | "geo" :: n :: k :: rest ->
     let seed = match rest with [ s ] -> int s | _ -> 11 in
     Cr_graphgen.Geometric.knn ~n:(int n) ~k:(int k) ~seed
+  | "geob" :: n :: k :: rest ->
+    let seed = match rest with [ s ] -> int s | _ -> 11 in
+    Cr_graphgen.Geometric.knn_bucketed ~n:(int n) ~k:(int k) ~seed
+  | "plaw" :: n :: m :: rest ->
+    let seed = match rest with [ s ] -> int s | _ -> 13 in
+    Cr_graphgen.Power_law.preferential ~n:(int n) ~m:(int m) ~seed
   | [ "ring"; n ] -> Cr_graphgen.Path_like.ring ~n:(int n)
   | [ "chain"; n; base ] ->
     Cr_graphgen.Path_like.exponential_chain ~n:(int n) ~base:(fl base)
@@ -52,8 +59,9 @@ let parse_family spec =
 
 let family_arg =
   let doc = "Network family, e.g. grid:10, holey:12:0.25, geo:128:3, \
-             ring:64, chain:32:2.0, lbtree:128:4:3, cube:6, file:PATH \
-             (edge-list text)." in
+             ring:64, chain:32:2.0, lbtree:128:4:3, cube:6, \
+             geob:16384:6 (bucketed kNN), plaw:10000:3 (preferential \
+             attachment), file:PATH (edge-list text)." in
   Arg.(value & opt string "grid:10" & info [ "family"; "f" ] ~docv:"SPEC" ~doc)
 
 let epsilon_arg =
@@ -877,11 +885,119 @@ let live_cmd =
       $ windows_arg $ window_size_arg $ top_arg $ pairs_arg $ edge_rate_arg
       $ node_fraction_arg $ chrome_arg)
 
+(* scale: the Cr_scale tier interactively — no dense matrix, so families
+   like plaw:100000:3 work where `stats` would stall on APSP. *)
+
+let scale family epsilon seed sources per_source alpha which sample =
+  let module Oracle = Cr_scale.Oracle in
+  let module Eval = Cr_scale.Eval in
+  let module Nets = Cr_scale.Nets in
+  let module LS = Cr_scale.Landmark_scale in
+  let module ZS = Cr_scale.Zoom_scale in
+  let graph = parse_family family in
+  let pool = Cr_par.Pool.default () in
+  let oracle = Oracle.create graph in
+  let g = Oracle.graph oracle in
+  let n = Oracle.n oracle in
+  let pairs = Eval.sample_pairs ~n ~sources ~per_source ~alpha ~seed in
+  let schemes =
+    List.concat
+      [ (if which = "zoom" then []
+         else begin
+           let lm = LS.build ~pool oracle ~seed:3 in
+           [ (LS.scheme ~storage:(LS.storage lm) lm, LS.build_settled lm) ]
+         end);
+        (if which = "landmark" then []
+         else begin
+           let z = ZS.build oracle ~epsilon in
+           let storage, sweep = ZS.storage ~pool ~sample z in
+           [ (ZS.scheme ~storage z,
+              Nets.settled_work (ZS.nets z) + sweep) ]
+         end) ]
+  in
+  Printf.printf
+    "scale eval on %s: n=%d edges=%d, %d pairs (%d sources x %d, \
+     Zipf(%g) destinations)\n"
+    family n (Graph.num_edges g) (List.length pairs) sources per_source
+    alpha;
+  List.iter
+    (fun ((s : Eval.scheme), build_settled) ->
+      let r = Eval.measure ~pool g s pairs in
+      let sum = r.Eval.summary in
+      Printf.printf "\n%s\n" s.Eval.name;
+      Printf.printf
+        "  stretch max %.3f avg %.3f p50 %.3f p99 %.3f (max cost %.3f)\n"
+        sum.Stats.max_stretch sum.Stats.avg_stretch sum.Stats.p50_stretch
+        sum.Stats.p99_stretch sum.Stats.max_cost;
+      (match s.Eval.storage with
+      | Some st ->
+        Printf.printf "  table bits max %d avg %.1f%s, header %d\n"
+          st.Eval.bits_max st.Eval.bits_avg
+          (if st.Eval.bits_sampled then " (sampled)" else "")
+          s.Eval.header_bits
+      | None -> ());
+      Printf.printf
+        "  work: build settled %d; eval %d sssp, %d ball searches, %d \
+         settled\n"
+        build_settled r.Eval.work.Eval.sssp r.Eval.work.Eval.bounded_runs
+        r.Eval.work.Eval.settled)
+    schemes;
+  let snap = Oracle.snapshot oracle in
+  Printf.printf
+    "\noracle: %d sssp runs, %d settled, %d hits / %d misses, %d \
+     evictions, %d rows cached\n"
+    snap.Oracle.sssp_runs snap.Oracle.settled snap.Oracle.hits
+    snap.Oracle.misses snap.Oracle.evictions snap.Oracle.cached;
+  0
+
+let scale_cmd =
+  let sources_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "sources" ] ~docv:"S" ~doc:"Sampled sources.")
+  in
+  let per_source_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "per-source" ] ~docv:"P" ~doc:"Destinations per source.")
+  in
+  let alpha_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "alpha"; "a" ] ~docv:"A"
+          ~doc:"Zipf skew for destinations (0 = uniform).")
+  in
+  let which_arg =
+    let doc = "Scheme set: all, landmark, or zoom." in
+    Arg.(
+      value
+      & opt (enum [ ("all", "all"); ("landmark", "landmark"); ("zoom", "zoom") ])
+          "all"
+      & info [ "schemes" ] ~docv:"SET" ~doc)
+  in
+  let sample_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "storage-sample" ] ~docv:"K"
+          ~doc:
+            "Net points sampled per level for the zooming directory's \
+             table-bit estimate (0 = exact sweep of every node).")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Sampled-pair stretch and oracle work on large graphs via the \
+          Cr_scale tier (no dense distance matrix); try \
+          --family plaw:100000:3")
+    Term.(
+      const scale $ family_arg $ epsilon_arg $ seed_arg $ sources_arg
+      $ per_source_arg $ alpha_arg $ which_arg $ sample_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "crdemo" ~version:"1.0"
        ~doc:"Compact routing schemes in low-doubling networks")
     [ inspect_cmd; route_cmd; stats_cmd; serve_cmd; trace_cmd; metrics_cmd;
-      verify_cmd; faults_cmd; cost_cmd; live_cmd ]
+      verify_cmd; faults_cmd; cost_cmd; live_cmd; scale_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

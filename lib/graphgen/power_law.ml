@@ -1,0 +1,57 @@
+module Graph = Cr_metric.Graph
+
+(* Classic Barabasi-Albert: the endpoint multiset [ends] holds every edge
+   endpoint ever added, so drawing a uniform index is a degree-proportional
+   draw. Duplicate/self targets are rejected and redrawn; after a bounded
+   number of attempts (degenerate only for tiny graphs) we fall back to the
+   smallest id not yet linked this round, keeping generation total and
+   deterministic. *)
+let preferential ~n ~m ~seed =
+  if m < 1 then invalid_arg "Power_law.preferential: m must be >= 1";
+  if n <= m then invalid_arg "Power_law.preferential: need n > m";
+  let rng = Rng.create seed in
+  let g = Graph.create n in
+  let m0 = m + 1 in
+  let cap = (m0 * (m0 - 1)) + (2 * m * (n - m0)) in
+  let ends = Array.make (max 1 cap) 0 in
+  let len = ref 0 in
+  let push v =
+    ends.(!len) <- v;
+    incr len
+  in
+  (* Seed clique on nodes 0..m: every node has degree >= 1 before any
+     preferential draw, so the multiset never starves. *)
+  for u = 0 to m0 - 1 do
+    for v = u + 1 to m0 - 1 do
+      Graph.add_edge g u v 1.0;
+      push u;
+      push v
+    done
+  done;
+  let linked = Array.make n (-1) in
+  for t = m0 to n - 1 do
+    let added = ref 0 in
+    let attempts = ref 0 in
+    while !added < m do
+      let v =
+        if !attempts < 16 + (50 * m) then ends.(Rng.int rng !len)
+        else begin
+          (* t has at least m+1 earlier nodes, so a free one exists. *)
+          let u = ref 0 in
+          while linked.(!u) = t do
+            incr u
+          done;
+          !u
+        end
+      in
+      incr attempts;
+      if v <> t && linked.(v) <> t then begin
+        linked.(v) <- t;
+        Graph.add_edge g t v 1.0;
+        push t;
+        push v;
+        incr added
+      end
+    done
+  done;
+  g

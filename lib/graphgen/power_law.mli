@@ -1,0 +1,17 @@
+(** Preferential-attachment (Barabasi-Albert) power-law graphs.
+
+    The Internet-like input family of Krioukov, Fall & Yang's "Compact
+    Routing on Internet-Like Graphs" (PAPERS.md): heavy-tailed degrees, a
+    densely connected core, and hop-count distances — emphatically *not* a
+    doubling metric, which is exactly why the E22 harness measures our
+    schemes against the TZ landmark baseline on it. *)
+
+(** [preferential ~n ~m ~seed] grows a graph by preferential attachment:
+    a seed clique on [m + 1] nodes, then each new node attaches to [m]
+    distinct existing nodes drawn proportionally to degree (with a bounded
+    rejection loop and a deterministic least-id fallback, so generation
+    always terminates). All edges have weight 1.0, so the graph is its own
+    normalized metric. The result is connected with [n] nodes and exactly
+    [m*(m+1)/2 + m*(n-m-1)] edges. Raises [Invalid_argument] unless
+    [1 <= m < n]. *)
+val preferential : n:int -> m:int -> seed:int -> Cr_metric.Graph.t

@@ -1,0 +1,135 @@
+module Graph = Cr_metric.Graph
+module Priority_queue = Cr_metric.Priority_queue
+
+(* Version-stamped scratch: [stamp.(v) = version] marks v's dist/pred/owner
+   as belonging to the current run, [done_.(v) = version] marks it settled.
+   Resetting is a single increment, so a ball-limited run costs only the
+   nodes it touches. The relaxation bodies below are copied from
+   Cr_metric.Dijkstra line for line (same tie-breaks, same push policy);
+   the only addition is the [d > radius] cutoff at pop time, which is
+   exhaustive because popped priorities are nondecreasing. *)
+type t = {
+  n : int;
+  dist : float array;
+  pred : int array;
+  owner : int array;
+  stamp : int array;
+  done_ : int array;
+  order : int array;
+  mutable settled : int;
+  mutable version : int;
+}
+
+let create n =
+  if n < 1 then invalid_arg "Bounded.create: n must be >= 1";
+  { n;
+    dist = Array.make n infinity;
+    pred = Array.make n (-1);
+    owner = Array.make n (-1);
+    stamp = Array.make n 0;
+    done_ = Array.make n 0;
+    order = Array.make n 0;
+    settled = 0;
+    version = 0 }
+
+let touch t v =
+  if t.stamp.(v) <> t.version then begin
+    t.stamp.(v) <- t.version;
+    t.dist.(v) <- infinity;
+    t.pred.(v) <- -1;
+    t.owner.(v) <- -1
+  end
+
+let begin_run t g ~radius name =
+  if Graph.n g <> t.n then invalid_arg (name ^ ": graph size mismatch");
+  if not (radius >= 0.0) then invalid_arg (name ^ ": radius must be >= 0");
+  t.version <- t.version + 1;
+  t.settled <- 0
+
+let settle t u =
+  if t.done_.(u) <> t.version then begin
+    t.done_.(u) <- t.version;
+    t.order.(t.settled) <- u;
+    t.settled <- t.settled + 1
+  end
+
+let run t g ~src ~radius =
+  begin_run t g ~radius "Bounded.run";
+  if src < 0 || src >= t.n then invalid_arg "Bounded.run: source out of range";
+  let heap = Priority_queue.create () in
+  touch t src;
+  t.dist.(src) <- 0.0;
+  t.owner.(src) <- src;
+  Priority_queue.push heap ~priority:0.0 src;
+  let stop = ref false in
+  while (not !stop) && not (Priority_queue.is_empty heap) do
+    let d, u = Priority_queue.pop_min heap in
+    if d > radius then stop := true
+    else if d <= t.dist.(u) then begin
+      settle t u;
+      Graph.iter_neighbors g u (fun v w ->
+          let cand = d +. w in
+          touch t v;
+          if
+            cand < t.dist.(v)
+            || (Float.equal cand t.dist.(v) && t.pred.(v) >= 0 && u < t.pred.(v))
+          then begin
+            let improved = cand < t.dist.(v) in
+            t.dist.(v) <- cand;
+            t.pred.(v) <- u;
+            t.owner.(v) <- src;
+            if improved then Priority_queue.push heap ~priority:cand v
+          end)
+    end
+  done;
+  t.settled
+
+let run_multi t g ~sources ~radius =
+  begin_run t g ~radius "Bounded.run_multi";
+  if sources = [] then invalid_arg "Bounded.run_multi: no sources";
+  let heap = Priority_queue.create () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= t.n then
+        invalid_arg "Bounded.run_multi: source out of range";
+      touch t s;
+      if 0.0 < t.dist.(s) || t.owner.(s) = -1 || s < t.owner.(s) then begin
+        t.dist.(s) <- 0.0;
+        t.owner.(s) <- s;
+        t.pred.(s) <- -1;
+        Priority_queue.push heap ~priority:0.0 s
+      end)
+    sources;
+  let stop = ref false in
+  while (not !stop) && not (Priority_queue.is_empty heap) do
+    let d, u = Priority_queue.pop_min heap in
+    if d > radius then stop := true
+    else if d <= t.dist.(u) then begin
+      settle t u;
+      Graph.iter_neighbors g u (fun v w ->
+          let cand = d +. w in
+          touch t v;
+          let better =
+            cand < t.dist.(v)
+            || (Float.equal cand t.dist.(v) && t.owner.(u) < t.owner.(v))
+          in
+          if better then begin
+            t.dist.(v) <- cand;
+            t.owner.(v) <- t.owner.(u);
+            t.pred.(v) <- u;
+            Priority_queue.push heap ~priority:cand v
+          end)
+    end
+  done;
+  t.settled
+
+let settled_count t = t.settled
+let settled t v = t.done_.(v) = t.version
+let dist t v = if t.done_.(v) = t.version then t.dist.(v) else infinity
+let pred t v = if t.done_.(v) = t.version then t.pred.(v) else -1
+let owner t v = if t.done_.(v) = t.version then t.owner.(v) else -1
+
+let iter_settled t f =
+  for i = 0 to t.settled - 1 do
+    f t.order.(i)
+  done

@@ -1,0 +1,127 @@
+module Graph = Cr_metric.Graph
+module Dijkstra = Cr_metric.Dijkstra
+module Scheme = Cr_sim.Scheme
+module Stats = Cr_sim.Stats
+module Workload = Cr_sim.Workload
+module Splitmix = Cr_graphgen.Splitmix
+module Pool = Cr_par.Pool
+
+type work = {
+  mutable sssp : int;
+  mutable settled : int;
+  mutable bounded_runs : int;
+}
+
+let fresh_work () = { sssp = 0; settled = 0; bounded_runs = 0 }
+
+type storage = {
+  bits_max : int;
+  bits_avg : float;
+  bits_sampled : bool;
+}
+
+type scheme = {
+  name : string;
+  prepare :
+    work -> src:int -> res:Dijkstra.result -> (int -> Scheme.outcome);
+  storage : storage option;
+  header_bits : int;
+}
+
+type result = {
+  summary : Stats.summary;
+  samples : (float * float * int) array;
+  work : work;
+}
+
+let distinct_resample_bound = 64
+
+let sample_pairs ~n ~sources ~per_source ~alpha ~seed =
+  if n < 2 then invalid_arg "Eval.sample_pairs: n must be >= 2";
+  if sources < 1 then invalid_arg "Eval.sample_pairs: sources must be >= 1";
+  if per_source < 1 then
+    invalid_arg "Eval.sample_pairs: per_source must be >= 1";
+  if not (Float.is_finite alpha && alpha >= 0.0) then
+    invalid_arg "Eval.sample_pairs: alpha must be finite and >= 0";
+  let draw_dst = Workload.zipf_sampler ~n ~alpha ~seed in
+  let root = Splitmix.of_int seed in
+  let src_key = Splitmix.mix root 1 in
+  let dst_root = Splitmix.mix root 2 in
+  List.concat
+    (List.init sources (fun j ->
+         let src = Splitmix.int_below (Splitmix.mix src_key j) n in
+         let group_key = Splitmix.mix dst_root j in
+         List.init per_source (fun i ->
+             let k = Splitmix.mix group_key i in
+             let rec distinct a =
+               if a > distinct_resample_bound then
+                 (src + 1
+                 + Splitmix.int_below
+                     (Splitmix.mix k (distinct_resample_bound + 1))
+                     (n - 1))
+                 mod n
+               else
+                 let dst = draw_dst (Splitmix.mix k a) in
+                 if dst = src then distinct (a + 1) else dst
+             in
+             (src, distinct 0))))
+
+let validate_pairs n pairs =
+  if pairs = [] then invalid_arg "Eval.measure: no pairs";
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Eval.measure: pair endpoint out of range";
+      if u = v then invalid_arg "Eval.measure: src = dst pair")
+    pairs
+
+(* Group pairs by source, preserving first-seen source order and in-group
+   pair order; each pair keeps its index so merged samples land in pair
+   order whatever the grouping. (Explicit order list — no Hashtbl
+   iteration order anywhere near the results.) *)
+let group_by_source pairs =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iteri
+    (fun idx (src, dst) ->
+      match Hashtbl.find_opt tbl src with
+      | Some cell -> cell := (idx, dst) :: !cell
+      | None ->
+        Hashtbl.replace tbl src (ref [ (idx, dst) ]);
+        order := src :: !order)
+    pairs;
+  List.map
+    (fun src -> (src, List.rev !(Hashtbl.find tbl src)))
+    (List.rev !order)
+
+let measure ?(pool = Pool.sequential) graph scheme pairs =
+  let n = Graph.n graph in
+  validate_pairs n pairs;
+  let groups = Array.of_list (group_by_source pairs) in
+  let run_group (src, idx_dsts) =
+    let w = fresh_work () in
+    let res = Dijkstra.run graph src in
+    w.sssp <- w.sssp + 1;
+    w.settled <- w.settled + n;
+    let route = scheme.prepare w ~src ~res in
+    let samples =
+      List.map
+        (fun (idx, dst) ->
+          let (o : Scheme.outcome) = route dst in
+          (idx, (res.Dijkstra.dist.(dst), o.Scheme.cost, o.Scheme.hops)))
+        idx_dsts
+    in
+    (samples, w)
+  in
+  let results = Pool.parallel_map pool run_group groups in
+  let total = List.length pairs in
+  let samples = Array.make total (0.0, 0.0, 0) in
+  let work = fresh_work () in
+  Array.iter
+    (fun (group_samples, w) ->
+      List.iter (fun (idx, s) -> samples.(idx) <- s) group_samples;
+      work.sssp <- work.sssp + w.sssp;
+      work.settled <- work.settled + w.settled;
+      work.bounded_runs <- work.bounded_runs + w.bounded_runs)
+    results;
+  { summary = Stats.summarize (Array.to_list samples); samples; work }

@@ -1,0 +1,75 @@
+(** Sampled-pair stretch evaluation: the scale tier's replacement for
+    [Cr_sim.Stats]'s all-pairs-backed measurement.
+
+    The dense harness divides each route cost by a matrix lookup; here the
+    denominator comes from one full Dijkstra per distinct source, shared by
+    every pair from that source. Pairs are grouped by source (first-seen
+    order), one pool task per group; each task runs its own searches into
+    task-local state and returns samples tagged with their original pair
+    index, which the caller places by index — so summaries and work
+    counters are byte-identical at any pool size, the [Cr_par.Pool]
+    contract. On the small fixtures, where one-sided Dijkstra rows equal
+    the symmetrized dense matrix (weight-1 graphs), the summary equals
+    [Stats.measure_*] on the same pairs exactly. *)
+
+(** Work tallied while measuring: how much shortest-path effort the
+    evaluation actually spent (the "no O(n^2) structure" receipt E22
+    reports and gates). *)
+type work = {
+  mutable sssp : int;  (** full single-source runs *)
+  mutable settled : int;  (** nodes settled across all searches *)
+  mutable bounded_runs : int;  (** truncated ball searches *)
+}
+
+val fresh_work : unit -> work
+
+(** Measured storage footprint of a scheme, as reported (possibly from a
+    sampled sweep when the exact one would be super-linear). *)
+type storage = {
+  bits_max : int;
+  bits_avg : float;
+  bits_sampled : bool;  (** true when max/avg are sampled estimates *)
+}
+
+(** A scheme as the sampled harness sees it: [prepare] receives the work
+    accumulator, the source, and the source's full Dijkstra result (the
+    stretch denominator), and returns a per-destination router. [prepare]
+    and the router run inside pool tasks: they must be pure apart from the
+    passed-in [work] and their own task-local state, and must not emit
+    trace events. *)
+type scheme = {
+  name : string;
+  prepare :
+    work -> src:int -> res:Cr_metric.Dijkstra.result ->
+    (int -> Cr_sim.Scheme.outcome);
+  storage : storage option;
+  header_bits : int;
+}
+
+type result = {
+  summary : Cr_sim.Stats.summary;
+  samples : (float * float * int) array;
+      (** (shortest distance, route cost, hops), in pair order *)
+  work : work;  (** merged totals over all groups, in group order *)
+}
+
+(** [sample_pairs ~n ~sources ~per_source ~alpha ~seed] draws
+    [sources * per_source] ordered pairs: sources uniform, destinations
+    Zipf([alpha]) through [Workload.zipf_sampler] ([alpha = 0] uniform),
+    each endpoint keyed by (seed, source index, pair index) — prefix-stable
+    in both [sources] and [per_source], independent of evaluation order and
+    pool size. Destination collisions with the source resample a bounded
+    number of times, then fall back to a keyed uniform draw over the other
+    n-1 nodes. Raises [Invalid_argument] when [n < 2], [sources] or
+    [per_source] is not positive, or [alpha] is negative, non-finite, or
+    NaN. *)
+val sample_pairs :
+  n:int -> sources:int -> per_source:int -> alpha:float -> seed:int ->
+  (int * int) list
+
+(** [measure ?pool graph scheme pairs] routes every pair and summarizes
+    with [Stats.summarize]. Raises [Invalid_argument] on an empty pair
+    list, an out-of-range endpoint, or a src = dst pair. *)
+val measure :
+  ?pool:Cr_par.Pool.t -> Cr_metric.Graph.t -> scheme -> (int * int) list ->
+  result

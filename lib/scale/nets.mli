@@ -1,0 +1,52 @@
+(** Ball-limited r-net hierarchy: [Cr_nets.Hierarchy] rebuilt from
+    radius-bounded searches instead of matrix rows.
+
+    Level i holds a greedy 2^i-net Y_i with Y_{i+1} as its seed (so nets
+    nest downward), Y_0 = V forced, and the top level {0} — the exact
+    construction of [Cr_nets.Hierarchy.build], replayed incrementally: a
+    candidate joins the net iff no earlier net point's truncated ball of
+    radius 2^i reached it strictly, which is [Rnet.greedy]'s
+    "for-all net points d >= r" test with the quantifier turned inside
+    out. Per-level nearest net points come from one truncated multi-source
+    run per level with [Dijkstra.multi_source]'s (distance, owner-id)
+    tie-break — the same least-id rule as [Metric.nearest_in].
+
+    With [~levels] set to the dense [Metric.levels], the result is
+    node-for-node equal to the dense hierarchy on weight-1 graphs (and up
+    to one-sided-vs-symmetrized float rounding otherwise); tested on
+    grid-6x6 and geo-48 in test/test_scale.ml. Without it, the depth is
+    [Oracle.levels_upper] — an upper bound from ecc(0), so the hierarchy
+    may carry extra near-top levels (still valid nets, typically {0}). *)
+
+type t
+
+(** [build ?obs ?levels oracle] constructs the hierarchy from bounded
+    searches only — nothing O(n^2). Emits a ["scale.nets.build"] span with
+    [scale.nets.*] counters when enabled. Raises [Invalid_argument] if
+    [levels < 1]. *)
+val build : ?obs:Cr_obs.Trace.context -> ?levels:int -> Oracle.t -> t
+
+(** [graph t] is the oracle's normalized graph. *)
+val graph : t -> Cr_metric.Graph.t
+
+(** [top_level t] is the highest level L (Y_L = {0}). *)
+val top_level : t -> int
+
+(** [net t i] is Y_i, sorted ascending.
+    Raises [Invalid_argument] for a level outside [0, top_level]. *)
+val net : t -> int -> int list
+
+(** [mem t ~level v] is true iff v is a level-[level] net point. *)
+val mem : t -> level:int -> int -> bool
+
+(** [nearest_net_point t ~level v] is v's nearest Y_level point (least id
+    on ties). *)
+val nearest_net_point : t -> level:int -> int -> int
+
+(** [nearest_net_dist t ~level v] is the distance to that net point
+    (measured from the net point, like the multi-source run computes it). *)
+val nearest_net_dist : t -> level:int -> int -> float
+
+(** [settled_work t] is the total settled-node count over every bounded
+    search the construction ran — the oracle-work number E22 reports. *)
+val settled_work : t -> int

@@ -48,22 +48,45 @@ let rank_of cum u =
   in
   go 0 (Array.length cum - 1)
 
-let zipf_pairs ~n ~alpha ~count ~seed =
-  if n < 2 then invalid_arg "Workload.zipf_pairs: n must be >= 2";
-  if not (alpha >= 0.0) then
-    invalid_arg "Workload.zipf_pairs: alpha must be >= 0";
+let zipf_sampler ~n ~alpha ~seed =
+  if n < 1 then invalid_arg "Workload.zipf_sampler: n must be >= 1";
+  if not (Float.is_finite alpha && alpha >= 0.0) then
+    invalid_arg "Workload.zipf_sampler: alpha must be finite and >= 0";
   let cum = zipf_cumulative ~n ~alpha in
   let total = cum.(n - 1) in
   (* rank -> node: a seeded permutation decouples popularity from id. *)
   let node_of_rank = Rng.permutation (Rng.create seed) n in
+  fun key -> node_of_rank.(rank_of cum (Splitmix.uniform key *. total))
+
+(* Extreme alpha collapses the whole CDF mass onto rank 0 in float (total
+   = cum.(0)), making every draw the same node: the old unbounded
+   resampling loop then never found a distinct destination. The resample
+   is now bounded, with a keyed uniform draw over the other n-1 nodes as
+   the deterministic fallback; draws that find a distinct destination
+   within the bound (every non-degenerate skew) are byte-identical to the
+   old sequence. *)
+let distinct_resample_bound = 64
+
+let zipf_pairs ~n ~alpha ~count ~seed =
+  if n < 2 then invalid_arg "Workload.zipf_pairs: n must be >= 2";
+  if count < 0 then invalid_arg "Workload.zipf_pairs: count must be >= 0";
+  if not (Float.is_finite alpha && alpha >= 0.0) then
+    invalid_arg "Workload.zipf_pairs: alpha must be finite and >= 0";
+  let draw = zipf_sampler ~n ~alpha ~seed in
   let root = Splitmix.of_int seed in
-  let draw key = node_of_rank.(rank_of cum (Splitmix.uniform key *. total)) in
   List.init count (fun i ->
       let k = Splitmix.mix root i in
       let src = draw (Splitmix.mix k 0) in
       let rec distinct j =
-        let dst = draw (Splitmix.mix k j) in
-        if dst = src then distinct (j + 1) else dst
+        if j > distinct_resample_bound then
+          (src + 1
+          + Splitmix.int_below
+              (Splitmix.mix k (distinct_resample_bound + 1))
+              (n - 1))
+          mod n
+        else
+          let dst = draw (Splitmix.mix k j) in
+          if dst = src then distinct (j + 1) else dst
       in
       (src, distinct 1))
 

@@ -27,6 +27,7 @@ let () =
       ("cost", Test_cost.suite);
       ("integration", Test_integration.suite);
       ("serve", Test_serve.suite);
+      ("scale", Test_scale.suite);
       ("live", Test_live.suite);
       ("registry", Test_registry.suite);
       ("lint", Test_lint.suite) ]

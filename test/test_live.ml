@@ -270,8 +270,68 @@ let zipf_skew () =
     (Invalid_argument "Workload.zipf_pairs: n must be >= 2") (fun () ->
       ignore (Workload.zipf_pairs ~n:1 ~alpha:1.0 ~count:1 ~seed:0));
   Alcotest.check_raises "alpha >= 0 required"
-    (Invalid_argument "Workload.zipf_pairs: alpha must be >= 0") (fun () ->
+    (Invalid_argument "Workload.zipf_pairs: alpha must be finite and >= 0")
+    (fun () ->
       ignore (Workload.zipf_pairs ~n:4 ~alpha:(-1.0) ~count:1 ~seed:0))
+
+(* The degenerate corners that used to loop or slip through: a huge alpha
+   collapses the float CDF onto rank 0, so the src-collision resample
+   must fall back to a keyed uniform draw instead of spinning; and
+   non-finite alphas / negative counts are typed errors, not hangs. The
+   new sampled-pair drawers (Cr_scale.Eval) share the sampler and the
+   same contract. *)
+
+let zipf_degenerate () =
+  let pairs = Workload.zipf_pairs ~n:8 ~alpha:1e6 ~count:100 ~seed:3 in
+  check_int "terminates with the full count" 100 (List.length pairs);
+  List.iter
+    (fun (s, d) -> check_bool "distinct endpoints" true (s <> d))
+    pairs;
+  Alcotest.check_raises "count >= 0 required"
+    (Invalid_argument "Workload.zipf_pairs: count must be >= 0") (fun () ->
+      ignore (Workload.zipf_pairs ~n:4 ~alpha:1.0 ~count:(-1) ~seed:0));
+  Alcotest.check_raises "nan alpha rejected"
+    (Invalid_argument "Workload.zipf_pairs: alpha must be finite and >= 0")
+    (fun () ->
+      ignore (Workload.zipf_pairs ~n:4 ~alpha:Float.nan ~count:1 ~seed:0));
+  Alcotest.check_raises "infinite alpha rejected"
+    (Invalid_argument "Workload.zipf_pairs: alpha must be finite and >= 0")
+    (fun () ->
+      ignore (Workload.zipf_pairs ~n:4 ~alpha:infinity ~count:1 ~seed:0));
+  Alcotest.check_raises "sampler rejects n = 0"
+    (Invalid_argument "Workload.zipf_sampler: n must be >= 1") (fun () ->
+      ignore (Workload.zipf_sampler ~n:0 ~alpha:1.0 ~seed:0 : _ -> int));
+  Alcotest.check_raises "sampler rejects non-finite alpha"
+    (Invalid_argument "Workload.zipf_sampler: alpha must be finite and >= 0")
+    (fun () ->
+      ignore (Workload.zipf_sampler ~n:4 ~alpha:infinity ~seed:0 : _ -> int))
+
+let sample_pairs_contract () =
+  let module Eval = Cr_scale.Eval in
+  let pairs = Eval.sample_pairs ~n:8 ~sources:4 ~per_source:25 ~alpha:1e6
+      ~seed:5
+  in
+  check_int "degenerate alpha still terminates" 100 (List.length pairs);
+  List.iter
+    (fun (s, d) -> check_bool "distinct endpoints" true (s <> d))
+    pairs;
+  Alcotest.check_raises "n >= 2 required"
+    (Invalid_argument "Eval.sample_pairs: n must be >= 2") (fun () ->
+      ignore (Eval.sample_pairs ~n:1 ~sources:1 ~per_source:1 ~alpha:0.0
+                ~seed:0));
+  Alcotest.check_raises "sources >= 1 required"
+    (Invalid_argument "Eval.sample_pairs: sources must be >= 1") (fun () ->
+      ignore (Eval.sample_pairs ~n:4 ~sources:0 ~per_source:1 ~alpha:0.0
+                ~seed:0));
+  Alcotest.check_raises "per_source >= 1 required"
+    (Invalid_argument "Eval.sample_pairs: per_source must be >= 1") (fun () ->
+      ignore (Eval.sample_pairs ~n:4 ~sources:1 ~per_source:0 ~alpha:0.0
+                ~seed:0));
+  Alcotest.check_raises "finite alpha required"
+    (Invalid_argument "Eval.sample_pairs: alpha must be finite and >= 0")
+    (fun () ->
+      ignore (Eval.sample_pairs ~n:4 ~sources:1 ~per_source:1
+                ~alpha:Float.nan ~seed:0))
 
 (* ---- pool-size byte-identity (the CR_DOMAINS contract) ---- *)
 
@@ -394,6 +454,10 @@ let suite =
     case "zipf: keyed determinism and prefix property" zipf_deterministic;
     zipf_validity;
     case "zipf: skew concentrates and validation raises" zipf_skew;
+    case "zipf: degenerate alpha terminates, bad inputs are typed errors"
+      zipf_degenerate;
+    case "scale sampler: degenerate alpha and validation contract"
+      sample_pairs_contract;
     case "live snapshots byte-identical across pool sizes"
       pool_size_invariance;
     case "walker telemetry conserves against the Cost ledger"

@@ -17,7 +17,8 @@ module A = Ast_util
 let id = "determinism"
 
 let pooled_dirs =
-  [ "lib/core"; "lib/metric"; "lib/sim"; "lib/proto"; "lib/fault"; "lib/serve" ]
+  [ "lib/core"; "lib/metric"; "lib/sim"; "lib/proto"; "lib/fault";
+    "lib/serve"; "lib/scale" ]
 
 let pooled rel = Rule.under pooled_dirs rel
 

@@ -196,8 +196,79 @@ let check_row ~epsilon row =
             message =
               "zipf.alpha row lacks fault/delivery/stretch/edge metrics" } ])
   in
+  (* E22 scale gates: a row carrying scale.settled came from the sampled
+     oracle harness (Cr_scale.Eval) on a graph too large for the dense
+     matrix. Three contracts: (1) the work receipt — nodes settled during
+     evaluation stay under the declared n * sources * (levels + 3)
+     budget, the proof that nothing O(n^2) was built; (2) sampled stretch
+     quantiles respect the scheme's own ceiling — exactly 3 for the
+     Thorup–Zwick landmark baseline (a hair of float-sum slack: route
+     and denominator are independently rounded path sums), and
+     3 + (12e + 4)/(1 - e) at e = min(epsilon, 2/5) for the zooming cost
+     model (the Theorem 1.4 telescoping bound, derived in
+     lib/scale/zoom_scale.mli); (3) when the zooming directory was swept
+     exactly (table_bits.sampled = 0), its *average* table bits fit the
+     polylog budget against the recorded diameter upper bound — the
+     paper's amortized guarantee: per-node directories are ball-sized,
+     but balls overlap only a packing constant per level, so the mean is
+     O(log n (log n + log Delta)). *)
+  let scale_findings =
+    match metric "scale.settled" with
+    | None -> []
+    | Some settled -> (
+      match (metric "scale.settled_budget", metric "stretch.max", metric "n")
+      with
+      | Some budget, Some stretch, Some nf ->
+        let work =
+          { ok = settled <= budget;
+            path = key "scale-work";
+            message =
+              Printf.sprintf "%s: %d settled <= budget %d%s"
+                (if settled <= budget then "oracle work within budget"
+                 else "ORACLE WORK EXCEEDS budget")
+                (int_of_float settled) (int_of_float budget)
+                " (n sources (levels + 3))" }
+        in
+        let scheme = str "scheme" in
+        let stretch_findings =
+          if contains ~needle:"landmark-scale" scheme then
+            [ bound "scale-stretch" stretch
+                (3.0 *. (1.0 +. 1e-9))
+                " (TZ stretch 3, float-sum slack)" ]
+          else if contains ~needle:"zoom-scale" scheme then
+            let e =
+              Float.min
+                (match metric "epsilon" with Some e -> e | None -> epsilon)
+                0.4
+            in
+            [ bound "scale-stretch" stretch
+                (3.0 +. (((12.0 *. e) +. 4.0) /. (1.0 -. e)))
+                (Printf.sprintf " (3 + (12e + 4)/(1 - e) at e=%.2f)" e) ]
+          else []
+        in
+        let bits_findings =
+          match
+            ( metric "table_bits.avg", metric "table_bits.sampled",
+              metric "delta.ub" )
+          with
+          | Some bits, Some sampled, Some dub
+            when Float.equal sampled 0.0
+                 && contains ~needle:"zoom-scale" scheme ->
+            let ln = log2 nf in
+            [ bound "scale-bits-avg" bits
+                (512.0 *. ln *. (ln +. Float.max 1.0 (log2 dub)))
+                " (512 log n (log n + log Delta_ub), exact sweep)" ]
+          | _ -> []
+        in
+        (work :: stretch_findings) @ bits_findings
+      | _ ->
+        [ { ok = false;
+            path = key "scale-skip";
+            message = "scale.settled row lacks budget/stretch/n metrics" } ])
+  in
   let extra_findings =
     cost_findings @ fallback_findings @ serve_findings @ brownout_findings
+    @ scale_findings
   in
   match classify (str "scheme") with
   | None -> extra_findings
